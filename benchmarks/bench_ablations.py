@@ -1,0 +1,10 @@
+"""Regenerates the design-choice ablation tables (repro.experiments.ablations)."""
+
+import pytest
+
+from repro.experiments import ALL_ABLATIONS
+
+
+@pytest.mark.parametrize("name", sorted(ALL_ABLATIONS))
+def test_ablation(name, regenerate):
+    regenerate(ALL_ABLATIONS[name])

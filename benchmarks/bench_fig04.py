@@ -1,0 +1,7 @@
+"""Regenerates the paper's Figure 4 (see repro.experiments.fig04)."""
+
+from repro.experiments import fig04
+
+
+def test_fig04(regenerate):
+    regenerate(fig04.compute)

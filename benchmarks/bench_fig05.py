@@ -1,0 +1,7 @@
+"""Regenerates the paper's Figure 5 (see repro.experiments.fig05)."""
+
+from repro.experiments import fig05
+
+
+def test_fig05(regenerate):
+    regenerate(fig05.compute)

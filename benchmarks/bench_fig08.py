@@ -1,0 +1,7 @@
+"""Regenerates the paper's Figure 8 (see repro.experiments.fig08)."""
+
+from repro.experiments import fig08
+
+
+def test_fig08(regenerate):
+    regenerate(fig08.compute)

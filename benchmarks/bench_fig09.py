@@ -1,0 +1,7 @@
+"""Regenerates the paper's Figure 9 (see repro.experiments.fig09)."""
+
+from repro.experiments import fig09
+
+
+def test_fig09(regenerate):
+    regenerate(fig09.compute)

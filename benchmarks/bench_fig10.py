@@ -1,0 +1,7 @@
+"""Regenerates the paper's Figure 10 (see repro.experiments.fig10)."""
+
+from repro.experiments import fig10
+
+
+def test_fig10(regenerate):
+    regenerate(fig10.compute)

@@ -1,0 +1,7 @@
+"""Regenerates the paper's Figure 11 (see repro.experiments.fig11)."""
+
+from repro.experiments import fig11
+
+
+def test_fig11(regenerate):
+    regenerate(fig11.compute)

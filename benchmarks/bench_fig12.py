@@ -1,0 +1,7 @@
+"""Regenerates the paper's Figure 12 (see repro.experiments.fig12)."""
+
+from repro.experiments import fig12
+
+
+def test_fig12(regenerate):
+    regenerate(fig12.compute)

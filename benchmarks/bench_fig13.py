@@ -1,0 +1,7 @@
+"""Regenerates the paper's Figure 13 (see repro.experiments.fig13)."""
+
+from repro.experiments import fig13
+
+
+def test_fig13(regenerate):
+    regenerate(fig13.compute)

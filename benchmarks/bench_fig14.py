@@ -1,0 +1,7 @@
+"""Regenerates the paper's Figure 14 (see repro.experiments.fig14)."""
+
+from repro.experiments import fig14
+
+
+def test_fig14(regenerate):
+    regenerate(fig14.compute)

@@ -1,0 +1,7 @@
+"""Regenerates the paper's in-text claims (see repro.experiments.intext)."""
+
+from repro.experiments import intext
+
+
+def test_intext(regenerate):
+    regenerate(intext.compute)

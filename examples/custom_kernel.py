@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Bring your own kernel: write assembly, watch the mechanism work on it.
+
+Walks through the public API end to end:
+
+1. assemble a custom program (a histogram with an unpredictable hammock),
+2. sanity-check it against a pure-Python model via the functional
+   interpreter,
+3. simulate it on the baseline and mechanism machines,
+4. interpret the mechanism counters.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import random
+
+from repro import assemble, run_program
+from repro.isa import run as run_functional
+from repro.uarch import ci, wb
+
+N = 512
+SEED = 2026
+
+
+def build():
+    rng = random.Random(SEED)
+    values = [rng.randint(0, 1023) for _ in range(N)]
+    data = " ".join(map(str, values))
+    prog = assemble(f"""
+    .dataw samples {data}
+    .data  hist 8
+        la   r8, samples
+        la   r9, hist
+        li   r31, {N}
+        li   r1, 0
+        li   r4, 0              ; total (control independent)
+        li   r5, 0              ; outliers
+        mov  r20, r8
+    loop:
+        ld   r0, 0(r20)         ; strided sample load
+        slti r22, r0, 896
+        bnez r22, common        ; ~12.5% outliers: moderately biased
+        addi r5, r5, 1          ; outlier path
+        j    tally
+    common:
+        srli r23, r0, 7         ; bucket = sample / 128
+        slli r23, r23, 3
+        add  r24, r9, r23
+        ld   r25, 0(r24)        ; histogram bucket (read-modify-write)
+        addi r25, r25, 1
+        st   r25, 0(r24)
+    tally:
+        add  r4, r4, r0         ; re-convergent accumulation
+        addi r20, r20, 8
+        addi r1, r1, 1
+        blt  r1, r31, loop
+        halt
+    """, name="histogram")
+    return prog, values
+
+
+def main() -> None:
+    prog, values = build()
+
+    # 1. Functional check against the Python model.
+    res = run_functional(prog)
+    expected_total = sum(values)
+    expected_outliers = sum(1 for v in values if v >= 896)
+    assert res.reg(4) == expected_total, "total mismatch"
+    assert res.reg(5) == expected_outliers, "outlier count mismatch"
+    print(f"functional check OK: total={res.reg(4)} "
+          f"outliers={res.reg(5)} ({res.steps} instructions)")
+
+    # 2. Timing comparison.
+    base = run_program(prog, wb(1, 512))
+    mech = run_program(prog, ci(1, 512))
+    print(f"\nwide-bus baseline : IPC {base.ipc:.3f} "
+          f"({base.cycles} cycles, {base.mispredicts} mispredicts)")
+    print(f"with the mechanism: IPC {mech.ipc:.3f} "
+          f"({mech.cycles} cycles)  -> {mech.ipc / base.ipc - 1:+.1%}")
+
+    # 3. What the mechanism did.
+    print(f"\nhard mispredictions examined : {mech.ci_events}")
+    print(f"CI instructions selected for : {mech.ci_selected} of them")
+    print(f"replica batches / created    : {mech.replica_batches} / "
+          f"{mech.replicas_created}")
+    print(f"validated (execution skipped): {mech.replica_validations}")
+    print(f"committed instructions reused: {mech.committed_reused} "
+          f"({mech.reuse_fraction:.1%})")
+    print(f"store/replica conflicts      : {mech.coherence_squashes}")
+    print("\nthe histogram's bucket loads are *not* reusable (their")
+    print("addresses are data-dependent and the buckets are stored to),")
+    print("but the total accumulation after the re-convergent point is —")
+    print("which is exactly what the counters above show.")
+
+
+if __name__ == "__main__":
+    main()

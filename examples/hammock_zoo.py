@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The hammock zoo: how each control-flow pattern responds.
+
+Runs every microbenchmark pattern under the wide-bus baseline and the
+mechanism, showing which shapes the mechanism exploits and which defeat
+it — a compact empirical summary of the paper's Sections 2.1-2.3.
+
+Run:  python examples/hammock_zoo.py
+"""
+
+from repro import run_program
+from repro.analysis import format_table
+from repro.uarch import ci, wb
+from repro.workloads.micro import MICRO_PATTERNS, micro_program
+
+STORY = {
+    "biased50": "unpredictable hammock: the mechanism's home turf",
+    "biased90": "mostly biased: fewer mispredictions, still exploited",
+    "biased99": "highly biased: the MBS filter keeps the mechanism off",
+    "if_then": "if-then shape (Figure 2b) re-converges at the target",
+    "nested": "hammock inside a hammock arm: heuristics still find it",
+    "deep4": "4 strided accumulations past re-convergence",
+    "deep12": "12 of them: more control-independent work to reuse",
+    "non_strided": "pointer chase: CI found, nothing vectorizable",
+    "variable_trip": "loop-exit mispredictions: little reusable work",
+    "both_arms": "both arms write the consumed register: partly blocked",
+}
+
+
+def main() -> None:
+    rows = []
+    for name in MICRO_PATTERNS:
+        prog = micro_program(name)
+        base = run_program(prog, wb(1, 512))
+        mech = run_program(prog, ci(1, 512))
+        rows.append([
+            name,
+            base.ipc,
+            mech.ipc,
+            f"{mech.ipc / base.ipc - 1:+.0%}",
+            mech.ci_events,
+            f"{mech.reuse_fraction:.0%}",
+        ])
+    print(format_table(
+        "hammock zoo: mechanism response per control-flow pattern",
+        ["pattern", "wb IPC", "ci IPC", "gain", "CI events", "reuse"],
+        rows))
+    print()
+    width = max(len(n) for n in STORY)
+    for name, story in STORY.items():
+        print(f"  {name:{width}s}  {story}")
+
+
+if __name__ == "__main__":
+    main()

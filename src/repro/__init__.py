@@ -1,0 +1,66 @@
+"""repro — reproduction of "Control-Flow Independence Reuse via Dynamic
+Vectorization" (Pajuelo, Gonzalez, Valero, IPDPS 2005).
+
+Public API quick tour::
+
+    from repro import run_kernel, configs
+    stats = run_kernel("bzip2", configs.ci(ports=1, regs=512))
+    print(stats.ipc, stats.reuse_fraction)
+
+See README.md for the full walkthrough and DESIGN.md for the system map.
+"""
+
+from typing import Optional
+
+from . import isa, trace, uarch, workloads
+from .ci import CIEngine
+from .isa import Program, assemble
+from .uarch import Core, Hooks, ProcessorConfig, SimStats, simulate
+from .uarch import config as configs
+from .workloads import build_program, build_suite, kernel_names
+
+__version__ = "1.0.0"
+
+
+def hooks_for(cfg: ProcessorConfig) -> Optional[Hooks]:
+    """The mechanism hooks matching ``cfg.ci_policy`` (None for baseline)."""
+    return CIEngine() if cfg.ci_policy else None
+
+
+def run_program(program: Program, cfg: Optional[ProcessorConfig] = None,
+                max_instructions: Optional[int] = None) -> SimStats:
+    """Simulate ``program`` under ``cfg`` with the right mechanism attached."""
+    cfg = cfg or ProcessorConfig()
+    return simulate(program, cfg, hooks=hooks_for(cfg),
+                    max_instructions=max_instructions)
+
+
+def run_kernel(name: str, cfg: Optional[ProcessorConfig] = None,
+               scale: float = 1.0, seed: int = 1,
+               max_instructions: Optional[int] = None) -> SimStats:
+    """Build one suite kernel and simulate it under ``cfg``."""
+    return run_program(build_program(name, scale, seed), cfg,
+                       max_instructions=max_instructions)
+
+
+__all__ = [
+    "CIEngine",
+    "Core",
+    "Hooks",
+    "ProcessorConfig",
+    "Program",
+    "SimStats",
+    "assemble",
+    "build_program",
+    "build_suite",
+    "configs",
+    "hooks_for",
+    "isa",
+    "kernel_names",
+    "run_kernel",
+    "run_program",
+    "simulate",
+    "trace",
+    "uarch",
+    "workloads",
+]

@@ -1,0 +1,27 @@
+"""Aggregation and reporting helpers for the experiment harness."""
+
+from .metrics import (
+    CIBreakdown,
+    CommitBreakdown,
+    aggregate_breakdown,
+    ci_breakdown,
+    commit_breakdown,
+    harmonic_mean,
+    speedup,
+    suite_ipc,
+)
+from .report import format_bar, format_table, pct
+
+__all__ = [
+    "CIBreakdown",
+    "CommitBreakdown",
+    "aggregate_breakdown",
+    "ci_breakdown",
+    "commit_breakdown",
+    "format_bar",
+    "format_table",
+    "harmonic_mean",
+    "pct",
+    "speedup",
+    "suite_ipc",
+]

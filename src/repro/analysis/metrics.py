@@ -1,0 +1,95 @@
+"""Aggregation helpers for the evaluation (harmonic means, breakdowns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..uarch.stats import SimStats
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean, the paper's average for IPC across the suite."""
+    vals = [v for v in values]
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("harmonic mean requires positive values")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def speedup(new: float, base: float) -> float:
+    """Relative improvement of ``new`` over ``base`` (0.178 = +17.8%)."""
+    if base <= 0:
+        raise ValueError("baseline must be positive")
+    return new / base - 1.0
+
+
+def suite_ipc(stats_by_kernel: Mapping[str, SimStats]) -> float:
+    return harmonic_mean(s.ipc for s in stats_by_kernel.values())
+
+
+@dataclass(frozen=True)
+class CIBreakdown:
+    """Figure 5's per-kernel classification of hard mispredictions."""
+
+    events: int
+    selected: int
+    reused: int
+
+    @property
+    def not_found_pct(self) -> float:
+        if not self.events:
+            return 0.0
+        return 100.0 * (self.events - self.selected) / self.events
+
+    @property
+    def selected_no_reuse_pct(self) -> float:
+        if not self.events:
+            return 0.0
+        return 100.0 * (self.selected - self.reused) / self.events
+
+    @property
+    def reused_pct(self) -> float:
+        if not self.events:
+            return 0.0
+        return 100.0 * self.reused / self.events
+
+
+def ci_breakdown(stats: SimStats) -> CIBreakdown:
+    return CIBreakdown(events=stats.ci_events, selected=stats.ci_selected,
+                       reused=stats.ci_reused)
+
+
+def aggregate_breakdown(stats_by_kernel: Mapping[str, SimStats]) -> CIBreakdown:
+    return CIBreakdown(
+        events=sum(s.ci_events for s in stats_by_kernel.values()),
+        selected=sum(s.ci_selected for s in stats_by_kernel.values()),
+        reused=sum(s.ci_reused for s in stats_by_kernel.values()))
+
+
+@dataclass(frozen=True)
+class CommitBreakdown:
+    """Figure 12's instruction-count classification."""
+
+    no_reuse: int      # committed without reusing a precomputed value
+    reuse: int         # committed reusing a replica
+    spec_bp: int       # fetched+dispatched, squashed by mispredictions
+    spec_ci: int       # replica instructions executed by the mechanism
+
+    @property
+    def total(self) -> int:
+        return self.no_reuse + self.reuse + self.spec_bp + self.spec_ci
+
+    @property
+    def reuse_pct_of_committed(self) -> float:
+        committed = self.no_reuse + self.reuse
+        return 100.0 * self.reuse / committed if committed else 0.0
+
+
+def commit_breakdown(stats: SimStats) -> CommitBreakdown:
+    return CommitBreakdown(
+        no_reuse=stats.committed - stats.committed_reused,
+        reuse=stats.committed_reused,
+        spec_bp=stats.squashed,
+        spec_ci=stats.replicas_executed)

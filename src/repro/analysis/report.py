@@ -1,0 +1,38 @@
+"""Plain-text rendering of experiment tables (the repo's "figures")."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 floatfmt: str = "{:.3f}") -> str:
+    """Render an aligned text table with a title rule."""
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "  "
+    header = sep.join(h.rjust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(header)
+    lines = [title, "=" * len(title), header, rule]
+    for row in str_rows:
+        lines.append(sep.join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bar(fraction: float, width: int = 30, fill: str = "#") -> str:
+    """A crude horizontal bar for terminal "figures"."""
+    n = max(0, min(width, round(fraction * width)))
+    return fill * n + "." * (width - n)
+
+
+def pct(value: float) -> str:
+    return f"{value:6.1f}%"

@@ -1,0 +1,32 @@
+"""The paper's contribution: control-flow independence reuse via dynamic
+vectorization (MBS, NRBQ/CRP, stride predictor, SRSMT, replicas, the
+speculative data memory, and the ci / ci-iw / vect policies)."""
+
+from .engine import CIEngine
+from .events import CIEvent
+from .mbs import MBS, MBSEntry
+from .reconverge import CRP, NRBQ, NRBQEntry, estimate_reconvergent_point
+from .specmem import SpecDataMemory
+from .squash_reuse import ReuseRecord, SquashReuseBuffer
+from .srsmt import Operand, ReplicaScheduler, SRSMT, SRSMTEntry
+from .stride import StrideEntry, StridePredictor
+
+__all__ = [
+    "CIEngine",
+    "CIEvent",
+    "CRP",
+    "MBS",
+    "MBSEntry",
+    "NRBQ",
+    "NRBQEntry",
+    "Operand",
+    "ReplicaScheduler",
+    "ReuseRecord",
+    "SRSMT",
+    "SRSMTEntry",
+    "SpecDataMemory",
+    "SquashReuseBuffer",
+    "StrideEntry",
+    "StridePredictor",
+    "estimate_reconvergent_point",
+]

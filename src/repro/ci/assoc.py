@@ -1,0 +1,61 @@
+"""Generic set-associative LRU table (MBS / stride predictor / SRSMT)."""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+V = TypeVar("V")
+
+
+class SetAssocTable(Generic[V]):
+    """PC-indexed, N-way set-associative table with true LRU replacement.
+
+    Each set is a dict ordered oldest → youngest (Python dicts preserve
+    insertion order; re-inserting refreshes recency).
+    """
+
+    def __init__(self, sets: int, ways: int):
+        if sets < 1 or ways < 1:
+            raise ValueError("sets and ways must be positive")
+        self.num_sets = sets
+        self.ways = ways
+        self._sets: List[Dict[int, V]] = [dict() for _ in range(sets)]
+
+    def _set_of(self, key: int) -> Dict[int, V]:
+        return self._sets[key % self.num_sets]
+
+    def lookup(self, key: int, refresh: bool = True) -> Optional[V]:
+        s = self._set_of(key)
+        v = s.get(key)
+        if v is not None and refresh:
+            del s[key]
+            s[key] = v
+        return v
+
+    def insert(self, key: int, value: V) -> Optional[Tuple[int, V]]:
+        """Insert/replace; returns the evicted (key, value) if any."""
+        s = self._set_of(key)
+        if key in s:
+            del s[key]
+            s[key] = value
+            return None
+        evicted = None
+        if len(s) >= self.ways:
+            old_key = next(iter(s))
+            evicted = (old_key, s.pop(old_key))
+        s[key] = value
+        return evicted
+
+    def remove(self, key: int) -> Optional[V]:
+        return self._set_of(key).pop(key, None)
+
+    def items(self) -> Iterator[Tuple[int, V]]:
+        for s in self._sets:
+            yield from s.items()
+
+    def values(self) -> Iterator[V]:
+        for s in self._sets:
+            yield from s.values()
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)

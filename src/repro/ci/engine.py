@@ -1,0 +1,601 @@
+"""CIEngine — the paper's mechanism, attached to the core's hook points.
+
+Policies:
+
+* ``"ci"``    — the proposed scheme: MBS-filtered hard branches arm the
+  CRP on misprediction; control-independent instructions past the
+  re-convergent point select their backward-slice strided loads for
+  speculative vectorization; replicas execute ahead with leftover
+  resources, survive branch recoveries, and validated re-fetches skip
+  execution (steps 1–4 of Section 2.3).
+* ``"ci-iw"`` — squash reuse: control independence only for results
+  already inside the window at recovery (Figure 10's ci-iw).
+* ``"vect"``  — the full dynamic-vectorization comparator of [12]: every
+  confident strided load (and its dependence-graph successors) is
+  vectorized, with no control-independence filtering (Figure 14).
+
+Validation is value-checked on top of the paper's producer-seq and stride
+checks (DESIGN.md §5): a replica is reused only if its precomputed value
+matches the oracle result, so the simplified model never commits wrong
+values — mismatches count as validation failures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..isa import ALU_EVAL, Instruction, Op
+from ..uarch.core import Core, Hooks, PortState
+from ..uarch.rob import DynInst
+from .events import CIEvent
+from .mbs import MBS
+from .reconverge import CRP, NRBQ, estimate_reconvergent_point
+from .specmem import SpecDataMemory
+from .squash_reuse import SquashReuseBuffer
+from .srsmt import SCALAR, SELF, VEC, Operand, ReplicaScheduler, SRSMT, SRSMTEntry
+from .stride import StridePredictor
+
+
+class CIEngine(Hooks):
+    """Control-flow independence via dynamic vectorization."""
+
+    def __init__(self) -> None:
+        self.core: Optional[Core] = None
+
+    # ------------------------------------------------------------------
+    def attach(self, core: Core) -> None:
+        self.core = core
+        cfg = core.cfg
+        self.cfg = cfg
+        self.policy = cfg.ci_policy
+        self.stats = core.stats
+        self.mbs = MBS(cfg.mbs_sets, cfg.mbs_ways)
+        self.stride = StridePredictor(cfg.stride_sets, cfg.stride_ways)
+        self.nrbq = NRBQ(cfg.nrbq_size)
+        self.crp = CRP()
+        self.srsmt = SRSMT(cfg.srsmt_sets, cfg.srsmt_ways,
+                           release=self._release_entry_regs)
+        self.scheduler = ReplicaScheduler(
+            load_latency=core.hierarchy.load_latency,
+            mem_read=lambda addr: core.mem.get(addr, 0))
+        self.spec_mem: Optional[SpecDataMemory] = None
+        if cfg.spec_mem_size is not None:
+            self.spec_mem = SpecDataMemory(
+                cfg.spec_mem_size, cfg.spec_mem_latency,
+                cfg.spec_mem_read_ports, cfg.spec_mem_write_ports)
+        self.reuse_buffer = SquashReuseBuffer(capacity=cfg.window_size)
+        self._reconv_cache: Dict[int, int] = {}
+        self._event: Optional[CIEvent] = None
+        self._crp_decodes_since_reached = 0
+        self._crp_decodes_since_armed = 0
+        self._vect_wait = False
+        #: scalar registers charged per replica (2 for the vect comparator)
+        self._vect_factor = 2 if self.policy == "vect" else 1
+        #: consecutive validation failures per PC; instructions that can
+        #: never validate (loop-variant scalar operands) stop re-vectorizing
+        self._fail_streak: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Resource accounting for replica destinations.
+    # ------------------------------------------------------------------
+    def _alloc_replicas(self, want: int) -> int:
+        if self.spec_mem is not None:
+            got = self.spec_mem.alloc_up_to(want)
+            if got < want:
+                self.stats.spec_mem_alloc_failures += 1
+            return got
+        assert self.core is not None
+        fl = self.core.freelist
+        if self.policy == "vect":
+            # The full dynamic-vectorization comparator [12] is greedy: its
+            # vector instructions live in the pipeline, carry full vector
+            # state (we charge two scalar registers per replica), and
+            # *block dispatch* until the whole set can be allocated — which
+            # is exactly why the scheme collapses at small register files
+            # (Figure 14).
+            if not fl.alloc(want * self._vect_factor):
+                self._vect_wait = True
+                return 0
+            return want
+        # Replicas have the lowest priority (Section 2.4.1): leave headroom
+        # in the free list so the conventional rename path keeps flowing.
+        budget = fl.free - self.cfg.ci_alloc_headroom
+        if budget <= 0:
+            return 0
+        return fl.alloc_up_to(min(want, budget))
+
+    def _conflict_blacklist(self) -> int:
+        """Store-conflict tolerance before a load stops re-vectorizing.
+
+        The greedy comparator [12] keeps re-vectorizing conflicting loads
+        far longer (4x), one source of its extra useless speculation."""
+        base = self.cfg.ci_conflict_blacklist
+        return base * 4 if self.policy == "vect" else base
+
+    def _release_regs(self, n: int) -> None:
+        if n <= 0:
+            return
+        if self.spec_mem is not None:
+            self.spec_mem.release(n)
+        else:
+            assert self.core is not None
+            self.core.freelist.release(n)
+
+    def _release_entry_regs(self, entry: SRSMTEntry) -> None:
+        self._release_regs(entry.regs_held)
+
+    # ------------------------------------------------------------------
+    # Static re-convergence estimates (cached per branch PC).
+    # ------------------------------------------------------------------
+    def _reconv(self, instr: Instruction) -> int:
+        pc = instr.pc
+        est = self._reconv_cache.get(pc)
+        if est is None:
+            est = estimate_reconvergent_point(self.core.program, instr)
+            self._reconv_cache[pc] = est
+        return est
+
+    # ------------------------------------------------------------------
+    # Dispatch hook: masks, selection, validation, vectorization.
+    # ------------------------------------------------------------------
+    def on_dispatch(self, inst: DynInst) -> None:
+        instr = inst.instr
+        if self.policy in ("ci", "ci-iw"):
+            self._track_masks(inst)
+        if self.policy == "ci-iw":
+            if instr.rd is not None and not instr.is_store:
+                rec = self.reuse_buffer.match(inst.pc, inst.result)
+                if rec is not None:
+                    inst.validated = True
+                    self.stats.replica_validations += 1
+                    self._credit_reuse(rec.event)
+            return
+        if self.policy in ("ci", "vect"):
+            if instr.is_load and instr.rd is not None:
+                self._dispatch_load(inst)
+            elif instr.rd is not None and instr.op in ALU_EVAL:
+                self._dispatch_alu(inst)
+
+    # -- NRBQ / CRP mask machinery (step 2) ------------------------------
+    def _track_masks(self, inst: DynInst) -> None:
+        instr = inst.instr
+        if instr.is_cond_branch:
+            self.nrbq.on_branch_fetch(inst.pc, self._reconv(instr), inst.seq)
+        else:
+            self.nrbq.on_instruction_fetch(instr.rd)
+        if not self.crp.active:
+            return
+        past_reconv = self.crp.on_decode(inst.pc, instr.rd)
+        if not self.crp.active:
+            return
+        if past_reconv:
+            self._crp_decodes_since_reached += 1
+            if self.policy == "ci":
+                self._select_ci_instruction(inst)
+            if self._crp_decodes_since_reached > self.cfg.ci_select_window:
+                self.crp.disarm()
+        else:
+            self._crp_decodes_since_armed += 1
+            if self._crp_decodes_since_armed > 4 * self.cfg.ci_select_window:
+                self.crp.disarm()  # estimate was never reached: give up
+
+    def _select_ci_instruction(self, inst: DynInst) -> None:
+        """Step 2: a post-re-convergence instruction with clean sources is
+        control independent; select the strided loads it depends on."""
+        instr = inst.instr
+        if not instr.srcs and instr.rd is None:
+            return
+        if not self.crp.sources_clean(instr.srcs):
+            return
+        ev = self._event
+        if ev is not None and not ev.counted_selected:
+            ev.selected = True
+            ev.counted_selected = True
+            self.stats.ci_selected += 1
+        # Select every strided load in the backward slice (rename table's
+        # stridedPC extension) for vectorization next time it is fetched.
+        rename = self.core.rename
+        for r in instr.srcs:
+            for lpc in rename.strided_pcs[r]:
+                self.stride.mark_selected(
+                    lpc, ev, conflict_blacklist=self.cfg.ci_conflict_blacklist)
+
+    def _chronically_failing(self, pc: int) -> bool:
+        """Gate for PCs whose validations (almost) never succeed.
+
+        The streak decays while the gate holds, so a PC is retried after a
+        cooling-off period instead of being disabled forever (a transient
+        failure burst must not permanently lose a valid chain)."""
+        streak = self._fail_streak.get(pc, 0)
+        if streak >= 8:
+            self._fail_streak[pc] = streak - 1
+            return True
+        return False
+
+    def _vect_pc_of(self, inst: DynInst, r: int):
+        """The V/S+Seq rename state of ``r`` as *this* instruction read it.
+
+        The core renames the destination before the hook runs, so for a
+        source that is also the destination (accumulators) the pre-rename
+        state lives in the instruction's undo record."""
+        if inst.instr.rd == r and inst.rename_undo is not None:
+            return inst.rename_undo[2]
+        return self.core.rename.vect_pc[r]
+
+    # -- loads: stride propagation, validation, replication --------------
+    def _dispatch_load(self, inst: DynInst) -> None:
+        instr = inst.instr
+        rename = self.core.rename
+        se = self.stride.confident(inst.pc)
+        if se is not None:
+            rename.strided_pcs[instr.rd] = (inst.pc,)
+            rename.assign_count += 1
+            rename.assign_sum += 1
+        entry = self.srsmt.lookup(inst.pc)
+        if entry is not None:
+            if self._validate(inst, entry):
+                rename.vect_pc[instr.rd] = inst.pc
+                return
+            entry = None  # validation failed; entry was deallocated
+        blacklist = self._conflict_blacklist()
+        wants_vector = (
+            se is not None
+            and (self.policy == "vect" or se.selected)
+            and not (blacklist and se.conflicts >= blacklist))
+        if wants_vector:
+            created = self._create_load_entry(inst, se.stride,
+                                              se.event if se else None)
+            if created:
+                rename.vect_pc[instr.rd] = inst.pc
+            return
+        # Dependent ("gather") load: the address register is the outcome of
+        # a vectorized instruction (step 3's dependence-propagation rule).
+        vpc = self._vect_pc_of(inst, instr.rs1)
+        if vpc is not None and vpc != inst.pc \
+                and (self.policy == "vect"
+                     or not self._chronically_failing(inst.pc)):
+            # The conflict blacklist covers gather loads too: their stride
+            # entry exists (every committed load trains the predictor) even
+            # though its confidence never builds.
+            se_any = self.stride.lookup(inst.pc)
+            if (blacklist and se_any is not None
+                    and se_any.conflicts >= blacklist):
+                return
+            prod = self.srsmt.lookup(vpc)
+            if prod is not None and self._create_dep_load_entry(inst, prod):
+                rename.vect_pc[instr.rd] = inst.pc
+
+    def _create_dep_load_entry(self, inst: DynInst, prod) -> bool:
+        nregs = self._alloc_replicas(self.cfg.replicas)
+        if nregs == 0:
+            return False
+        entry = SRSMTEntry(inst.pc, inst.instr, nregs,
+                           storage="specmem" if self.spec_mem else "rf")
+        entry.regs_held = nregs * self._vect_factor
+        entry.addr_operand = Operand(VEC, producer=prod,
+                                     producer_generation=prod.generation,
+                                     base=prod.decode)
+        entry.event = prod.event
+        if not self.srsmt.try_insert(entry):
+            self._release_regs(nregs * self._vect_factor)
+            self.stats.srsmt_alloc_failures += 1
+            return False
+        self.scheduler.enqueue_batch(entry)
+        self.stats.replicas_created += nregs
+        self.stats.replica_batches += 1
+        return True
+
+    def _create_load_entry(self, inst: DynInst, stride: int, event) -> bool:
+        nregs = self._alloc_replicas(self.cfg.replicas)
+        if nregs == 0:
+            return False
+        entry = SRSMTEntry(inst.pc, inst.instr, nregs,
+                           storage="specmem" if self.spec_mem else "rf")
+        entry.regs_held = nregs * self._vect_factor
+        entry.set_load_pattern(inst.eff_addr, stride)
+        entry.event = event
+        if not self.srsmt.try_insert(entry):
+            self._release_regs(nregs * self._vect_factor)
+            self.stats.srsmt_alloc_failures += 1
+            return False
+        self.scheduler.enqueue_batch(entry)
+        self.stats.replicas_created += nregs
+        self.stats.replica_batches += 1
+        return True
+
+    # -- ALU dependents: vectorize when a source is vectorized ------------
+    def _dispatch_alu(self, inst: DynInst) -> None:
+        instr = inst.instr
+        rename = self.core.rename
+        entry = self.srsmt.lookup(inst.pc)
+        if entry is not None:
+            if self._validate(inst, entry):
+                rename.vect_pc[instr.rd] = inst.pc
+                return
+            entry = None
+        if not any(self._vect_pc_of(inst, r) is not None for r in instr.srcs):
+            return
+        if self._chronically_failing(inst.pc):
+            return  # this PC (almost) never validates: stop churning
+        operands: List[Operand] = []
+        sregs = self.core.sregs
+        for r in instr.srcs:
+            vpc = self._vect_pc_of(inst, r)
+            if vpc == inst.pc:
+                # Self-recurrence: replica 0 seeds from this instance's
+                # own output.
+                operands.append(Operand(SELF, value=inst.result))
+            elif vpc is not None:
+                prod = self.srsmt.lookup(vpc)
+                if prod is None:
+                    operands.append(Operand(
+                        SCALAR,
+                        value=inst.sreg_old if r == instr.rd else sregs[r]))
+                else:
+                    operands.append(Operand(VEC, producer=prod,
+                                            producer_generation=prod.generation,
+                                            base=prod.decode))
+            else:
+                operands.append(Operand(
+                    SCALAR,
+                    value=inst.sreg_old if r == instr.rd else sregs[r]))
+        nregs = self._alloc_replicas(self.cfg.replicas)
+        if nregs == 0:
+            return
+        entry = SRSMTEntry(inst.pc, instr, nregs,
+                           storage="specmem" if self.spec_mem else "rf")
+        entry.regs_held = nregs * self._vect_factor
+        entry.operands = operands
+        # Attribute to the first producer's event (reuse chains propagate
+        # their originating misprediction for Figure 5).
+        for o in operands:
+            if o.kind == VEC and o.producer is not None and o.producer.event:
+                entry.event = o.producer.event
+                break
+        if not self.srsmt.try_insert(entry):
+            self._release_regs(nregs * self._vect_factor)
+            self.stats.srsmt_alloc_failures += 1
+            return
+        self.scheduler.enqueue_batch(entry)
+        self.stats.replicas_created += nregs
+        self.stats.replica_batches += 1
+        rename.vect_pc[instr.rd] = inst.pc
+
+    # -- validation (step 4) ----------------------------------------------
+    def _validate(self, inst: DynInst, entry: SRSMTEntry) -> bool:
+        """Try to reuse replica ``entry.decode`` for this dynamic instance.
+
+        On success the instruction skips execution.  On failure the entry
+        is deallocated (the paper recreates replicas with new operands; the
+        re-creation happens naturally on a later fetch)."""
+        instr = inst.instr
+        idx = entry.decode
+        if idx >= entry.nregs:
+            # Batch exhausted: re-batch immediately from this instance (it
+            # executes normally and seeds the next replica set).  Waiting
+            # for full commit would desynchronise chained entries.
+            event = entry.event
+            self.srsmt.deallocate(entry)
+            if instr.is_load:
+                se = self.stride.confident(inst.pc)
+                blacklist = self.cfg.ci_conflict_blacklist
+                if se is not None \
+                        and (self.policy == "vect" or se.selected) \
+                        and not (blacklist and se.conflicts >= blacklist):
+                    self._create_load_entry(inst, se.stride, event)
+            # ALU entries are recreated by the dependent-vectorization
+            # path on this same dispatch (caller re-checks sources).
+            return False
+        # The paper's check compares the producer identifiers (PCs)
+        # currently in the rename table against seq1/seq2 — a producer that
+        # merely started a new replica batch still matches; the value check
+        # below arbitrates actual staleness.
+        ok = entry.done[idx]
+        if ok and instr.is_load:
+            if entry.addr_operand is not None:
+                opnd = entry.addr_operand
+                ok = (entry.addrs[idx] == inst.eff_addr
+                      and self._vect_pc_of(inst, instr.rs1) == opnd.seq_id())
+            else:
+                ok = inst.eff_addr == entry.replica_addr(idx)
+        elif ok:
+            for r, opnd in zip(instr.srcs, entry.operands):
+                if opnd.kind == SELF:
+                    continue
+                if opnd.kind == VEC:
+                    if self._vect_pc_of(inst, r) != opnd.seq_id():
+                        ok = False
+                        break
+                elif self._vect_pc_of(inst, r) is not None:
+                    # A previously scalar operand became vectorized: the
+                    # stored scalar value is stale by construction.
+                    ok = False
+                    break
+        if ok and entry.values[idx] != inst.result:
+            ok = False  # value check (model-level safety net)
+        if not ok:
+            self.stats.replica_validation_failures += 1
+            self._fail_streak[inst.pc] = min(
+                32, self._fail_streak.get(inst.pc, 0) + 1)
+            self.srsmt.deallocate(entry)
+            return False
+        self._fail_streak[inst.pc] = 0
+        entry.decode += 1
+        inst.validated = True
+        inst.validated_entry = (entry, entry.generation)
+        self.stats.replica_validations += 1
+        self._credit_reuse(entry.event)
+        return True
+
+    def _credit_reuse(self, event) -> None:
+        if isinstance(event, CIEvent) and not event.counted_reused:
+            event.reused = True
+            event.counted_reused = True
+            self.stats.ci_reused += 1
+
+    def validated_extra_latency(self, inst: DynInst) -> int:
+        if self.spec_mem is None:
+            return 0
+        self.stats.copy_uops += 1
+        # Dependents read the copy through the bypass network as it drains
+        # from the speculative memory; with the nominal 2-cycle memory the
+        # visible cost is read-port queueing only (the paper reports the
+        # copy path as non-critical: a 5-cycle memory costs just ~3%).
+        return max(0, self.spec_mem.copy_latency(self.core.cycle) - 2)
+
+    # ------------------------------------------------------------------
+    # Branch resolution / recovery.
+    # ------------------------------------------------------------------
+    def on_branch_resolved(self, inst: DynInst) -> None:
+        inst.hard_branch = (self.mbs.is_hard(inst.pc)
+                            if self.cfg.ci_mbs_filter else True)
+
+    def on_recovery(self, pivot: DynInst, squashed: List[DynInst],
+                    is_branch: bool) -> None:
+        if is_branch and self.policy in ("ci", "ci-iw") \
+                and pivot.hard_branch:
+            self._arm_crp(pivot, squashed)
+        if self.policy in ("ci", "ci-iw"):
+            self.nrbq.squash_younger(pivot.seq)
+        if self.policy in ("ci", "vect") and is_branch:
+            dead = self.srsmt.on_recovery()
+            if self.cfg.ci_daec:
+                for entry in dead:
+                    self.srsmt.deallocate(entry)
+            if self.cfg.ci_recovery_repair:
+                self._repair_decode_cursors()
+
+    def _repair_decode_cursors(self) -> None:
+        """Advance decode past validations that survived the squash.
+
+        The paper's plain decode<-commit rollback forgets in-flight
+        validated instances that are older than the mispredicted branch;
+        their replicas would be re-validated (and value-fail) on the next
+        fetch, deallocating the whole batch.  A recovery-time repair scan
+        of the window fixes the cursors (DESIGN.md §5)."""
+        survivors: Dict[int, int] = {}
+        for inst in self.core.window:
+            if inst.validated and inst.validated_entry is not None \
+                    and not inst.committed:
+                entry, generation = inst.validated_entry
+                if entry.generation == generation:
+                    survivors[id(entry)] = survivors.get(id(entry), 0) + 1
+        if not survivors:
+            return
+        for entry in self.srsmt.all_entries():
+            n = survivors.get(id(entry))
+            if n:
+                entry.decode = min(entry.nregs, entry.commit + n)
+
+    def _arm_crp(self, pivot: DynInst, squashed: List[DynInst]) -> None:
+        nrbq_entry = self.nrbq.find(pivot.seq)
+        if nrbq_entry is None:
+            return  # branch was not tracked (NRBQ full)
+        self.stats.ci_events += 1
+        event = CIEvent(branch_pc=pivot.pc, seq=pivot.seq)
+        self._event = event
+        mask0 = self._wrong_path_mask(nrbq_entry.reconv_pc, squashed)
+        if self.policy == "ci-iw":
+            n = self.reuse_buffer.harvest(nrbq_entry.reconv_pc, mask0,
+                                          squashed, event)
+            if n and not event.counted_selected:
+                event.selected = True
+                event.counted_selected = True
+                self.stats.ci_selected += 1
+        else:
+            self.crp.arm(pivot.pc, pivot.seq, nrbq_entry.reconv_pc, mask0)
+            self._crp_decodes_since_reached = 0
+            self._crp_decodes_since_armed = 0
+
+    @staticmethod
+    def _wrong_path_mask(reconv_pc: int, squashed: List[DynInst]) -> int:
+        """Registers written on the wrong path *before* the re-convergent
+        point was reached (Section 2.3.2's CRP mask semantics: "written
+        since the branch was fetched and before the re-convergent point is
+        reached, in either the wrong or the correct path").  Wrong-path
+        writes past re-convergence do not dirty the mask — those are the
+        very instructions whose results control independence preserves."""
+        mask = 0
+        for inst in squashed:
+            if inst.pc == reconv_pc:
+                break
+            rd = inst.instr.rd
+            if rd is not None:
+                mask |= 1 << rd
+        return mask
+
+    # ------------------------------------------------------------------
+    # Commit hooks.
+    # ------------------------------------------------------------------
+    def on_commit(self, inst: DynInst) -> None:
+        instr = inst.instr
+        if instr.is_cond_branch:
+            self.mbs.update(inst.pc, inst.actual_taken)
+            if self.policy in ("ci", "ci-iw"):
+                self.nrbq.on_branch_retire(inst.seq)
+            return
+        if instr.is_load and self.policy in ("ci", "vect"):
+            self.stride.update(inst.pc, inst.eff_addr)
+        if inst.validated and inst.validated_entry is not None:
+            entry, generation = inst.validated_entry
+            if entry.generation == generation and entry.commit < entry.nregs:
+                # The replica's register keeps holding the value until the
+                # whole batch retires (stretched lifetimes, Section 2.4.2);
+                # deallocation/re-batch releases the set.
+                entry.commit += 1
+
+    def on_store_commit(self, inst: DynInst) -> bool:
+        if self.policy not in ("ci", "vect"):
+            return False
+        conflict = False
+        addr = inst.eff_addr
+        exact = self.cfg.ci_exact_range_check
+        for entry in self.srsmt.all_entries():
+            if not entry.contains_addr(addr):
+                continue
+            if exact and entry.stride and (addr - entry.range_lo) % abs(entry.stride):
+                continue  # store falls between the replicas' addresses
+            # De-select the load so it does not immediately re-vectorize
+            # into the same store stream (it must be re-selected by a
+            # future misprediction event first).
+            se = self.stride.lookup(entry.pc)
+            if se is not None:
+                se.selected = False
+                se.conflicts += 1
+            self.srsmt.deallocate(entry)
+            conflict = True
+        return conflict
+
+    # ------------------------------------------------------------------
+    # Per-cycle replica execution.
+    # ------------------------------------------------------------------
+    def dispatch_gate(self) -> bool:
+        if not self._vect_wait:
+            return True
+        # The stalled in-pipeline vector instruction blocks dispatch until
+        # enough registers free up; under real shortage that means waiting
+        # for the machine to drain — the thrashing behaviour that makes the
+        # full vectorization scheme collapse on small register files.
+        fl = self.core.freelist
+        threshold = min(fl.capacity - 4,
+                        self.cfg.replicas * self._vect_factor + 16)
+        if fl.free >= threshold:
+            self._vect_wait = False
+            return True
+        if not self.core.window:
+            # Fully drained: reclaim dead vector register sets and resume.
+            for e in self.srsmt.all_entries():
+                if e.decode == e.commit and e.issue == 0:
+                    self.srsmt.deallocate(e)
+            self._vect_wait = False
+            return True
+        return False
+
+    def on_cycle(self, leftover_issue_slots: int, ports: PortState) -> None:
+        if self.policy not in ("ci", "vect"):
+            return
+        now = self.core.cycle
+        self.scheduler.drain_completions(now)
+        max_writes = (self.spec_mem.write_ports if self.spec_mem else None)
+        self.scheduler.issue(now, leftover_issue_slots, ports, self.stats,
+                             max_mem_writes=max_writes)

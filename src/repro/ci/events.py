@@ -1,0 +1,23 @@
+"""Per-misprediction accounting objects behind Figure 5."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CIEvent:
+    """One hard-branch misprediction examined by the mechanism.
+
+    Figure 5 classifies each such event as: no control-independent
+    instruction found (``selected`` stays False), at least one selected but
+    never reused, or at least one precomputed instance successfully reused.
+    """
+
+    branch_pc: int
+    seq: int
+    selected: bool = False
+    reused: bool = False
+    #: credited to the stats exactly once each
+    counted_selected: bool = False
+    counted_reused: bool = False

@@ -1,0 +1,56 @@
+"""MBS — Mispredicted Branch Status table (Section 2.3.1).
+
+A 4-way × 64-set table of 4-bit saturating up/down counters.  The counter
+moves toward an extreme while the branch keeps repeating one direction and
+snaps back to the middle when the direction flips.  A branch whose counter
+sits at either extreme is *highly biased* (easy); anything else is
+considered hard-to-predict, which activates the control-independence
+scheme for its mispredictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .assoc import SetAssocTable
+
+COUNTER_MAX = 15
+COUNTER_MID = 8
+
+
+@dataclass
+class MBSEntry:
+    counter: int = COUNTER_MID
+    last_taken: bool | None = None
+
+
+class MBS:
+    """Hard-to-predict branch filter."""
+
+    def __init__(self, sets: int = 64, ways: int = 4):
+        self.table: SetAssocTable[MBSEntry] = SetAssocTable(sets, ways)
+
+    def update(self, pc: int, taken: bool) -> None:
+        e = self.table.lookup(pc)
+        if e is None:
+            e = MBSEntry()
+            self.table.insert(pc, e)
+        if e.last_taken is None or e.last_taken == taken:
+            if taken:
+                e.counter = min(COUNTER_MAX, e.counter + 1)
+            else:
+                e.counter = max(0, e.counter - 1)
+        else:
+            e.counter = COUNTER_MID
+        e.last_taken = taken
+
+    def is_hard(self, pc: int) -> bool:
+        """True unless the branch has proven highly biased.
+
+        Unknown branches default to hard (their counter would start at the
+        middle of the range), as in the paper.
+        """
+        e = self.table.lookup(pc, refresh=False)
+        if e is None:
+            return True
+        return 0 < e.counter < COUNTER_MAX

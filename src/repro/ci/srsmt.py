@@ -1,0 +1,320 @@
+"""SRSMT — Scalar Register Set Map Table — and replica scheduling.
+
+Each entry (Figure 6) manages one vectorized static instruction's set of
+speculative replicas: the allocated destination registers (or speculative-
+data-memory positions), the ``decode``/``commit`` validation cursors, the
+in-flight ``issue`` count, the DAEC dead-association counter, the producer
+identifiers ``seq1``/``seq2``, and — for loads — the address ``Range`` the
+replicas read (used by the store coherence check of Section 2.4.3).
+
+Replicas themselves are lightweight µops executed by :class:`ReplicaScheduler`
+with *leftover* issue slots and cache ports only (Section 2.4.1: lowest
+priority, never squashed by branch recoveries, retired at write-back).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..isa import ALU_EVAL, FU_LATENCY, Instruction
+from .assoc import SetAssocTable
+
+#: operand kinds for vectorized ALU instructions
+VEC, SELF, SCALAR = "vec", "self", "scalar"
+
+
+@dataclass
+class Operand:
+    """One source of a vectorized ALU instruction.
+
+    ``vec``    — produced by another vectorized instruction; replica *n*
+                 of the consumer uses the producer's replica ``base + n``.
+    ``self``   — the instruction's own previous output (accumulators);
+                 replica 0 seeds from the triggering dynamic instance.
+    ``scalar`` — a plain register value captured at vectorization time.
+    """
+
+    kind: str
+    producer: Optional["SRSMTEntry"] = None
+    producer_generation: int = -1
+    base: int = 0
+    value: int = 0
+
+    def seq_id(self) -> Optional[int]:
+        """The paper's seq field: producer PC for vector operands."""
+        return self.producer.pc if self.kind == VEC and self.producer else None
+
+
+class SRSMTEntry:
+    """One vectorized static instruction's replica set."""
+
+    __slots__ = (
+        "pc", "instr", "is_load", "nregs", "decode", "commit", "issue",
+        "daec", "base_addr", "stride", "range_lo", "range_hi", "operands",
+        "values", "done", "issued", "event", "generation", "regs_held",
+        "storage", "addr_operand", "addrs",
+    )
+
+    def __init__(self, pc: int, instr: Instruction, nregs: int,
+                 storage: str = "rf"):
+        self.pc = pc
+        self.instr = instr
+        self.is_load = instr.is_load
+        self.nregs = nregs
+        self.decode = 0
+        self.commit = 0
+        self.issue = 0
+        self.daec = 0
+        self.base_addr = 0
+        self.stride = 0
+        self.range_lo = 0
+        self.range_hi = 0
+        self.operands: List[Operand] = []
+        self.values: List[Optional[int]] = [None] * nregs
+        self.done: List[bool] = [False] * nregs
+        self.issued: List[bool] = [False] * nregs
+        self.event = None
+        self.generation = 0
+        self.regs_held = nregs
+        self.storage = storage
+        #: dependent ("gather") loads: address comes from a vectorized
+        #: producer instead of a stride pattern (step 3's dependence rule)
+        self.addr_operand: Optional[Operand] = None
+        self.addrs: List[Optional[int]] = [None] * nregs
+
+    def set_load_pattern(self, base_addr: int, stride: int) -> None:
+        self.base_addr = base_addr
+        self.stride = stride
+        addrs = [base_addr + stride * (i + 1) for i in range(self.nregs)]
+        self.range_lo = min(addrs)
+        self.range_hi = max(addrs)
+
+    def replica_addr(self, idx: int) -> int:
+        return self.base_addr + self.stride * (idx + 1)
+
+    def contains_addr(self, addr: int) -> bool:
+        """Conservative Range check for the store coherence mechanism."""
+        if not self.is_load:
+            return False
+        if self.addr_operand is not None:
+            return any(a == addr for a in self.addrs if a is not None)
+        return self.range_lo <= addr <= self.range_hi
+
+    @property
+    def exhausted(self) -> bool:
+        return self.decode >= self.nregs
+
+    @property
+    def fully_committed(self) -> bool:
+        return self.commit >= self.nregs
+
+    def rollback_decode(self) -> None:
+        """Branch-misprediction recovery: copy commit into decode."""
+        self.decode = self.commit
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "LD" if self.is_load else self.instr.op.name
+        return (f"<SRSMT pc={self.pc} {kind} n={self.nregs} "
+                f"d={self.decode} c={self.commit} daec={self.daec}>")
+
+
+class SRSMT:
+    """The table proper: 4-way × 64-set, LRU within a set.
+
+    Deallocation requires ``decode == commit`` and ``issue == 0``; the
+    engine passes a ``release`` callback that returns the entry's registers
+    to whichever pool they came from.
+    """
+
+    def __init__(self, sets: int = 64, ways: int = 4,
+                 release: Optional[Callable[["SRSMTEntry"], None]] = None):
+        self.table: SetAssocTable[SRSMTEntry] = SetAssocTable(sets, ways)
+        self.release = release or (lambda e: None)
+        self.alloc_failures = 0
+
+    def lookup(self, pc: int) -> Optional[SRSMTEntry]:
+        return self.table.lookup(pc, refresh=False)
+
+    def deallocate(self, entry: SRSMTEntry) -> None:
+        """Free an entry and its remaining resources."""
+        entry.generation += 1
+        self.release(entry)
+        entry.regs_held = 0
+        self.table.remove(entry.pc)
+
+    def try_insert(self, entry: SRSMTEntry) -> bool:
+        """Insert a new entry, evicting a dead LRU entry if necessary.
+
+        An entry can be evicted only when its replicas are neither awaited
+        (decode == commit) nor executing (issue == 0) — Section 2.3.3.
+        """
+        s = self.table._set_of(entry.pc)
+        if entry.pc in s:
+            self.deallocate(s[entry.pc])
+        if len(s) >= self.table.ways:
+            victim = None
+            for e in s.values():  # oldest (LRU) first
+                if e.decode == e.commit and e.issue == 0:
+                    victim = e
+                    break
+            if victim is None:
+                self.alloc_failures += 1
+                return False
+            self.deallocate(victim)
+        self.table.insert(entry.pc, entry)
+        return True
+
+    def all_entries(self) -> List[SRSMTEntry]:
+        return list(self.table.values())
+
+    def on_recovery(self) -> List[SRSMTEntry]:
+        """Branch-misprediction recovery (Sections 2.3.3 / 2.4.2 / 2.4.4).
+
+        Rolls every entry's decode cursor back to its commit cursor and
+        applies the DAEC policy; returns entries whose DAEC expired (the
+        caller deallocates them).
+        """
+        dead: List[SRSMTEntry] = []
+        for e in self.all_entries():
+            if e.decode == e.commit:
+                e.daec += 1
+                if e.daec >= 2:
+                    dead.append(e)
+            else:
+                e.daec = 0
+            e.rollback_decode()
+        return dead
+
+
+@dataclass(order=True)
+class _Completion:
+    cycle: int
+    tick: int
+    entry: SRSMTEntry = field(compare=False)
+    idx: int = field(compare=False)
+    generation: int = field(compare=False)
+
+
+class ReplicaScheduler:
+    """Executes replica µops with leftover issue slots and cache ports."""
+
+    def __init__(self, load_latency: Callable[[int, int], int],
+                 mem_read: Callable[[int], int]):
+        self.pending: List[Tuple[SRSMTEntry, int, int]] = []  # (entry, idx, gen)
+        self.completions: List[_Completion] = []
+        self._tick = 0
+        self.load_latency = load_latency
+        self.mem_read = mem_read
+        self.executed = 0
+
+    def enqueue_batch(self, entry: SRSMTEntry) -> None:
+        for i in range(entry.nregs):
+            self.pending.append((entry, i, entry.generation))
+
+    _DEAD = object()
+
+    def _operand_value(self, entry: SRSMTEntry, opnd: Operand, idx: int):
+        """The operand's value, None if still pending, _DEAD if unobtainable."""
+        if opnd.kind == SCALAR:
+            return opnd.value
+        if opnd.kind == SELF:
+            if idx == 0:
+                return opnd.value
+            return entry.values[idx - 1] if entry.done[idx - 1] else None
+        prod = opnd.producer
+        if prod is None or prod.generation != opnd.producer_generation:
+            return self._DEAD
+        j = opnd.base + idx
+        if j >= prod.nregs:
+            return self._DEAD
+        if not prod.done[j]:
+            return None
+        return prod.values[j]
+
+    def drain_completions(self, now: int) -> None:
+        while self.completions and self.completions[0].cycle <= now:
+            c = heapq.heappop(self.completions)
+            e = c.entry
+            if e.generation != c.generation:
+                continue  # entry was deallocated while executing
+            e.done[c.idx] = True
+            e.issue -= 1
+
+    def issue(self, now: int, slots: int, ports, stats,
+              max_mem_writes: Optional[int] = None) -> int:
+        """Issue up to ``slots`` ready replicas; returns the number issued."""
+        if slots <= 0 or not self.pending:
+            return 0
+        issued = 0
+        writes = 0
+        keep: List[Tuple[SRSMTEntry, int, int]] = []
+        # Issue in replica-index order so sibling entries' same-iteration
+        # loads (which usually share a cache line) group into one wide
+        # access, as the scalar loads they shadow would.
+        self.pending.sort(key=lambda item: item[1])
+        for item in self.pending:
+            entry, idx, gen = item
+            if entry.generation != gen:
+                continue  # dead batch: drop silently
+            if issued >= slots or (max_mem_writes is not None
+                                   and writes >= max_mem_writes):
+                keep.append(item)
+                continue
+            value: Optional[int] = None
+            lat = 0
+            if entry.is_load:
+                if entry.addr_operand is not None:
+                    base = self._operand_value(entry, entry.addr_operand, idx)
+                    if base is self._DEAD:
+                        continue
+                    if base is None:
+                        keep.append(item)
+                        continue
+                    addr = (base + entry.instr.imm) & ((1 << 64) - 1)
+                else:
+                    addr = entry.replica_addr(idx)
+                line = ports.hierarchy.line_of(addr)
+                if not ports.can_load(line):
+                    keep.append(item)
+                    continue
+                ports.do_load(line, replica=True)
+                entry.addrs[idx] = addr
+                value = self.mem_read(addr)
+                lat = self.load_latency(addr, now)
+            else:
+                vals = []
+                ready = True
+                dead = False
+                for opnd in entry.operands:
+                    v = self._operand_value(entry, opnd, idx)
+                    if v is self._DEAD:
+                        dead = True
+                        break
+                    if v is None:
+                        ready = False
+                        break
+                    vals.append(v)
+                if dead:
+                    continue  # producers gone: replica can never execute
+                if not ready:
+                    keep.append(item)
+                    continue
+                a = vals[0] if vals else 0
+                b = vals[1] if len(vals) > 1 else 0
+                value = ALU_EVAL[entry.instr.op](a, b, entry.instr.imm)
+                lat = FU_LATENCY[entry.instr.fu_class]
+            entry.values[idx] = value
+            entry.issued[idx] = True
+            entry.issue += 1
+            issued += 1
+            writes += 1
+            self.executed += 1
+            stats.replicas_executed += 1
+            self._tick += 1
+            heapq.heappush(self.completions,
+                           _Completion(now + lat, self._tick, entry, idx,
+                                       entry.generation))
+        self.pending = keep
+        return issued

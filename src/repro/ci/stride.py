@@ -1,0 +1,78 @@
+"""Stride predictor (Section 2.3.2, Figure 3).
+
+PC-indexed 4-way × 256-set table: last address, last stride, a 2-bit
+confidence counter (trusted when > 1), and the S flag that marks loads
+selected for speculative vectorization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .assoc import SetAssocTable
+
+CONF_MAX = 3
+CONF_TRUST = 2
+
+
+@dataclass
+class StrideEntry:
+    last_addr: int
+    stride: int = 0
+    confidence: int = 0
+    selected: bool = False          # the S flag
+    #: misprediction event that set S (Figure 5 attribution)
+    event: Optional[object] = None
+    #: store-coherence conflicts suffered by this load's replicas
+    conflicts: int = 0
+
+
+class StridePredictor:
+    """Per-load-PC stride tracking."""
+
+    def __init__(self, sets: int = 256, ways: int = 4):
+        self.table: SetAssocTable[StrideEntry] = SetAssocTable(sets, ways)
+
+    def update(self, pc: int, addr: int) -> StrideEntry:
+        """Record one committed execution of the load at ``pc``."""
+        e = self.table.lookup(pc)
+        if e is None:
+            e = StrideEntry(last_addr=addr)
+            self.table.insert(pc, e)
+            return e
+        stride = addr - e.last_addr
+        if stride == e.stride:
+            e.confidence = min(CONF_MAX, e.confidence + 1)
+        else:
+            e.confidence = max(0, e.confidence - 1)
+            if e.confidence == 0:
+                e.stride = stride
+        e.last_addr = addr
+        return e
+
+    def lookup(self, pc: int) -> Optional[StrideEntry]:
+        return self.table.lookup(pc, refresh=False)
+
+    def confident(self, pc: int) -> Optional[StrideEntry]:
+        """The entry if its stride prediction is currently trusted."""
+        e = self.table.lookup(pc, refresh=False)
+        if e is not None and e.confidence >= CONF_TRUST and e.stride != 0:
+            return e
+        return None
+
+    def mark_selected(self, pc: int, event: Optional[object] = None,
+                      conflict_blacklist: int = 0) -> bool:
+        """Set the S flag for the load at ``pc`` (CI selection, step 2).
+
+        A load whose replicas conflicted with stores ``conflict_blacklist``
+        or more times is refused (0 disables the blacklist)."""
+        e = self.table.lookup(pc, refresh=False)
+        if e is None:
+            return False
+        if conflict_blacklist and e.conflicts >= conflict_blacklist:
+            return False
+        e.selected = True
+        if event is not None:
+            e.event = event
+        return True

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+========
+
+``run``      simulate one kernel (or an assembly file) under a named scheme
+``suite``    run all 12 kernels under one scheme and print the table
+``figure``   regenerate one of the paper's figures (fig04 ... fig14, intext)
+``ablation`` run one of the design-choice ablations
+``list``     list kernels, figures and ablations
+``trace``    trace-driven profile of a kernel (branches, strides, reconv.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import run_program
+from .analysis import format_table, harmonic_mean
+from .isa import assemble
+from .uarch import ProcessorConfig, ci, scal, wb, with_spec_mem
+from .uarch.config import INF_REGS
+from .workloads import build_program, kernel_names
+
+SCHEMES = ("scal", "wb", "ci", "ci-iw", "vect")
+
+
+def make_config(args: argparse.Namespace) -> ProcessorConfig:
+    regs = INF_REGS if args.regs == "inf" else int(args.regs)
+    scheme = args.scheme
+    if scheme == "scal":
+        cfg = scal(args.ports, regs)
+    elif scheme == "wb":
+        cfg = wb(args.ports, regs)
+    elif scheme in ("ci", "ci-iw", "vect"):
+        cfg = ci(args.ports, regs, replicas=args.replicas, policy=scheme)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown scheme {scheme!r}")
+    if args.spec_mem:
+        cfg = with_spec_mem(cfg, args.spec_mem)
+    return cfg
+
+
+def _add_machine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scheme", choices=SCHEMES, default="ci",
+                   help="machine configuration (default: ci)")
+    p.add_argument("--regs", default="512",
+                   help="physical registers (int or 'inf')")
+    p.add_argument("--ports", type=int, default=1, help="L1 data ports")
+    p.add_argument("--replicas", type=int, default=4,
+                   help="speculative replicas per vectorized instruction")
+    p.add_argument("--spec-mem", type=int, default=0, metavar="POSITIONS",
+                   help="attach the speculative data memory")
+    p.add_argument("--scale", type=float, default=0.5,
+                   help="workload scale factor")
+    p.add_argument("--seed", type=int, default=1, help="workload data seed")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.kernel.endswith(".s") or args.kernel.endswith(".asm"):
+        with open(args.kernel) as fh:
+            prog = assemble(fh.read(), name=args.kernel)
+    else:
+        prog = build_program(args.kernel, args.scale, args.seed)
+    st = run_program(prog, make_config(args))
+    print(f"program            : {prog.name} ({len(prog)} static instrs)")
+    print(f"committed / cycles : {st.committed} / {st.cycles}")
+    print(f"IPC                : {st.ipc:.3f}")
+    print(f"branch mispredicts : {st.mispredicts} "
+          f"({st.mispredict_rate:.1%} of conditional branches)")
+    if args.scheme in ("ci", "ci-iw", "vect"):
+        print(f"reused instructions: {st.committed_reused} "
+              f"({st.reuse_fraction:.1%} of committed)")
+        print(f"replicas created   : {st.replicas_created} "
+              f"(validated {st.replica_validations}, "
+              f"failed {st.replica_validation_failures})")
+        print(f"CI events          : {st.ci_events} examined, "
+              f"{st.ci_selected} selected, {st.ci_reused} reused")
+        print(f"coherence squashes : {st.coherence_squashes}")
+    print(f"L1 accesses        : {st.l1d_accesses} "
+          f"({st.l1d_misses} misses)")
+    print(f"avg regs in use    : {st.avg_regs_in_use:.0f} "
+          f"(peak {st.regs_in_use_peak})")
+    series = st.interval_ipc
+    if series:
+        # One digit per interval, 0-9 ~ IPC 0-4.5+ (warm-up at a glance).
+        timeline = "".join(str(min(9, int(x * 2))) for x in series)
+        print(f"IPC timeline       : {timeline}")
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    cfg = make_config(args)
+    rows = []
+    ipcs = []
+    for name in kernel_names():
+        st = run_program(build_program(name, args.scale, args.seed), cfg)
+        ipcs.append(st.ipc)
+        rows.append([name, st.ipc, f"{st.mispredict_rate:.1%}",
+                     f"{st.reuse_fraction:.1%}", st.cycles])
+    rows.append(["INT(hmean)", harmonic_mean(ipcs), "", "", ""])
+    print(format_table(
+        f"suite under {args.scheme} ({args.regs} regs, {args.ports} port(s))",
+        ["kernel", "IPC", "mispred", "reuse", "cycles"], rows))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    import os
+    os.environ["REPRO_SCALE"] = str(args.scale)
+    from .experiments import ALL_EXPERIMENTS, generate_report
+    if args.name == "all":
+        print(generate_report())
+        return 0
+    key = args.name if args.name.startswith(("fig", "intext")) \
+        else f"fig{int(args.name):02d}"
+    if key not in ALL_EXPERIMENTS:
+        print(f"unknown figure {args.name!r}; known: "
+              f"{', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    print(ALL_EXPERIMENTS[key]().render())
+    return 0
+
+
+def cmd_ablation(args: argparse.Namespace) -> int:
+    import os
+    os.environ["REPRO_SCALE"] = str(args.scale)
+    from .experiments import ALL_ABLATIONS
+    if args.name not in ALL_ABLATIONS:
+        print(f"unknown ablation {args.name!r}; known: "
+              f"{', '.join(sorted(ALL_ABLATIONS))}", file=sys.stderr)
+        return 2
+    print(ALL_ABLATIONS[args.name]().render())
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    from .experiments import ALL_ABLATIONS, ALL_EXPERIMENTS
+    from .workloads import SUITE
+    print("kernels:")
+    for spec in SUITE:
+        print(f"  {spec.name:9s} {spec.description} [{spec.traits}]")
+    print("figures:", ", ".join(ALL_EXPERIMENTS))
+    print("ablations:", ", ".join(sorted(ALL_ABLATIONS)))
+    print("schemes:", ", ".join(SCHEMES))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .trace import check_reconvergence, collect_trace, profile_trace
+    prog = build_program(args.kernel, args.scale, args.seed)
+    events = collect_trace(prog)
+    prof = profile_trace(events)
+    checks = check_reconvergence(prog, events)
+    rows = []
+    for pc in sorted(prof.branches):
+        b = prof.branches[pc]
+        chk = checks.get(pc)
+        rows.append([pc, prog.code[pc].text, b.execs,
+                     f"{b.taken_rate:.1%}",
+                     "hard" if b.is_hard else "easy",
+                     f"{chk.hit_rate:.1%}" if chk else "-"])
+    print(format_table(f"{args.kernel}: branch anatomy "
+                       f"({len(events)} dynamic instructions)",
+                       ["pc", "branch", "execs", "taken", "class",
+                        "reconv hit"], rows))
+    rows = [[pc, l.execs, l.dominant_stride, f"{l.stride_rate:.1%}"]
+            for pc, l in sorted(prof.loads.items())]
+    print()
+    print(format_table(f"{args.kernel}: load strides",
+                       ["pc", "execs", "stride", "strided"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Control-Flow Independence Reuse via "
+                    "Dynamic Vectorization' (IPDPS 2005)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    pr = sub.add_parser("run", help="simulate one kernel or .s file")
+    pr.add_argument("kernel", help="suite kernel name or assembly file")
+    _add_machine_args(pr)
+    pr.set_defaults(fn=cmd_run)
+
+    ps = sub.add_parser("suite", help="run all kernels under one scheme")
+    _add_machine_args(ps)
+    ps.set_defaults(fn=cmd_suite)
+
+    pf = sub.add_parser("figure", help="regenerate a paper figure")
+    pf.add_argument("name",
+                    help="fig04..fig14, intext, a number, or 'all' "
+                         "(the full EXPERIMENTS.md report)")
+    pf.add_argument("--scale", type=float, default=0.5)
+    pf.set_defaults(fn=cmd_figure)
+
+    pa = sub.add_parser("ablation", help="run a design-choice ablation")
+    pa.add_argument("name")
+    pa.add_argument("--scale", type=float, default=0.35)
+    pa.set_defaults(fn=cmd_ablation)
+
+    pl = sub.add_parser("list", help="list kernels/figures/ablations")
+    pl.set_defaults(fn=cmd_list)
+
+    pt = sub.add_parser("trace", help="trace-driven kernel profile")
+    pt.add_argument("kernel")
+    pt.add_argument("--scale", type=float, default=0.5)
+    pt.add_argument("--seed", type=int, default=1)
+    pt.set_defaults(fn=cmd_trace)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

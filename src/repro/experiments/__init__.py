@@ -1,0 +1,69 @@
+"""Experiment harness: one module per reproduced table/figure.
+
+``generate_report()`` runs every experiment (sharing one memoised runner)
+and returns the full text report used to build EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from . import ablations, fig04, fig05, fig08, fig09, fig10, fig11, fig12, fig13, fig14, intext
+from .common import (
+    Check,
+    EXPERIMENT_SCALE,
+    Figure,
+    REG_POINTS,
+    Runner,
+    default_runner,
+    reg_label,
+)
+
+#: experiment id -> compute function, in the paper's presentation order
+ALL_EXPERIMENTS: Dict[str, Callable[..., Figure]] = {
+    "fig04": fig04.compute,
+    "fig05": fig05.compute,
+    "fig08": fig08.compute,
+    "fig09": fig09.compute,
+    "fig10": fig10.compute,
+    "fig11": fig11.compute,
+    "fig12": fig12.compute,
+    "fig13": fig13.compute,
+    "fig14": fig14.compute,
+    "intext": intext.compute,
+}
+
+#: design-choice ablations (not paper figures; see ablations.py)
+ALL_ABLATIONS = ablations.ALL_ABLATIONS
+
+
+def run_all(runner: Optional[Runner] = None) -> Dict[str, Figure]:
+    runner = runner or default_runner()
+    return {key: fn(runner) for key, fn in ALL_EXPERIMENTS.items()}
+
+
+def generate_report(runner: Optional[Runner] = None) -> str:
+    figures = run_all(runner)
+    parts: List[str] = []
+    for fig in figures.values():
+        parts.append(fig.render())
+        parts.append("")
+    total = sum(len(f.checks) for f in figures.values())
+    passed = sum(sum(c.passed for c in f.checks) for f in figures.values())
+    parts.append(f"shape checks: {passed}/{total} passed")
+    return "\n".join(parts)
+
+
+__all__ = [
+    "ALL_ABLATIONS",
+    "ALL_EXPERIMENTS",
+    "Check",
+    "EXPERIMENT_SCALE",
+    "Figure",
+    "REG_POINTS",
+    "Runner",
+    "default_runner",
+    "generate_report",
+    "reg_label",
+    "run_all",
+]

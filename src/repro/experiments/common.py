@@ -1,0 +1,123 @@
+"""Shared infrastructure for the per-figure experiment harness.
+
+Every ``figXX`` module exposes ``compute(runner) -> Figure``: it simulates
+the configurations the paper's figure sweeps, renders the same rows/series
+as a text table, and evaluates *shape checks* — the qualitative claims
+(who wins, where crossovers fall) that the reproduction must preserve.
+
+Simulation results are memoised per (kernel, scale, seed, config), so
+figures sharing configurations (e.g. the Figure 9 baselines reused by
+Figures 10, 13 and 14) pay for each run once per process.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis import format_table, harmonic_mean
+from ..uarch import ProcessorConfig, SimStats
+from ..uarch.config import INF_REGS
+from ..workloads import build_program, kernel_names
+from .. import run_program
+
+#: default workload scale for experiments; override with REPRO_SCALE
+EXPERIMENT_SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
+EXPERIMENT_SEED = int(os.environ.get("REPRO_SEED", "1"))
+
+#: the register-file sweep of Figures 9, 11, 13 and 14
+REG_POINTS: Tuple[int, ...] = (128, 256, 512, 768, INF_REGS)
+
+
+def reg_label(regs: int) -> str:
+    return "inf" if regs >= INF_REGS else str(regs)
+
+
+@dataclass
+class Check:
+    """One qualitative claim from the paper, evaluated on our data."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "PASS" if self.passed else "DEVIATION"
+        out = f"[{mark}] {self.description}"
+        if self.detail:
+            out += f" — {self.detail}"
+        return out
+
+
+@dataclass
+class Figure:
+    """One reproduced table/figure plus its shape checks."""
+
+    fig_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    notes: List[str] = field(default_factory=list)
+    checks: List[Check] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [format_table(f"{self.fig_id}: {self.title}",
+                              self.headers, self.rows)]
+        if self.checks:
+            parts.append("")
+            parts.extend(c.render() for c in self.checks)
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+
+class Runner:
+    """Memoising simulation runner shared across figures."""
+
+    def __init__(self, scale: Optional[float] = None,
+                 seed: Optional[int] = None):
+        self.scale = EXPERIMENT_SCALE if scale is None else scale
+        self.seed = EXPERIMENT_SEED if seed is None else seed
+        self._cache: Dict[tuple, SimStats] = {}
+        self._programs: Dict[str, object] = {}
+
+    def program(self, name: str):
+        prog = self._programs.get(name)
+        if prog is None:
+            prog = self._programs[name] = build_program(name, self.scale,
+                                                        self.seed)
+        return prog
+
+    def run(self, name: str, cfg: ProcessorConfig) -> SimStats:
+        key = (name, cfg)
+        st = self._cache.get(key)
+        if st is None:
+            st = self._cache[key] = run_program(self.program(name), cfg)
+        return st
+
+    def run_suite(self, cfg: ProcessorConfig) -> Dict[str, SimStats]:
+        return {name: self.run(name, cfg) for name in kernel_names()}
+
+    def suite_hmean_ipc(self, cfg: ProcessorConfig) -> float:
+        return harmonic_mean(s.ipc for s in self.run_suite(cfg).values())
+
+
+_default_runner: Optional[Runner] = None
+
+
+def default_runner() -> Runner:
+    """Process-wide runner so figures share cached simulations."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = Runner()
+    return _default_runner
+
+
+def monotone_nondecreasing(xs: Sequence[float], tol: float = 1e-9) -> bool:
+    return all(b >= a - tol for a, b in zip(xs, xs[1:]))

@@ -1,0 +1,64 @@
+"""Figure 10: control independence inside the window only ("squash reuse").
+
+Per-kernel IPC for scal / wb / ci-iw / ci with one L1 port.  The paper
+reports ci-iw capturing about half of ci's improvement (9.1% vs 17.8%);
+the qualitative ordering scal <= wb <= ci-iw <= ci is the shape to hold.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis import harmonic_mean
+from ..uarch.config import ci, scal, wb
+from ..workloads import kernel_names
+from .common import Check, Figure, Runner, default_runner
+
+CONFIGS = [
+    ("scal", scal(1, 512)),
+    ("wb", wb(1, 512)),
+    ("ci-iw", ci(1, 512, policy="ci-iw")),
+    ("ci", ci(1, 512)),
+]
+
+
+def compute(runner: Optional[Runner] = None) -> Figure:
+    runner = runner or default_runner()
+    per_cfg = {label: runner.run_suite(cfg) for label, cfg in CONFIGS}
+    rows = []
+    for name in kernel_names():
+        rows.append([name] + [per_cfg[label][name].ipc
+                              for label, _ in CONFIGS])
+    means = {label: harmonic_mean(s.ipc for s in per_cfg[label].values())
+             for label, _ in CONFIGS}
+    rows.append(["INT(hmean)"] + [means[label] for label, _ in CONFIGS])
+
+    checks = [
+        Check("ordering scal <= wb <= ci-iw <= ci holds on the mean",
+              means["scal"] <= means["wb"] <= means["ci-iw"] <= means["ci"],
+              " ".join(f"{l}={means[l]:.3f}" for l, _ in CONFIGS)),
+        Check("ci-iw improves over wb (paper: +9.1%)",
+              means["ci-iw"] > means["wb"],
+              f"+{(means['ci-iw'] / means['wb'] - 1) * 100:.1f}%"),
+        Check("full ci clearly beats the window-limited scheme",
+              means["ci"] > means["ci-iw"] * 1.05),
+    ]
+    return Figure(
+        fig_id="Figure 10",
+        title="IPC: scal / wb / ci-iw (squash reuse) / ci — 1 L1 port, 512 regs",
+        headers=["kernel"] + [label for label, _ in CONFIGS],
+        rows=rows,
+        checks=checks,
+        notes=["ci-iw's margin over wb is smaller here than the paper's "
+               "9.1%: with our shallower front end, recovery cost is "
+               "refill-dominated, and squash reuse only removes "
+               "re-execution (see EXPERIMENTS.md)"],
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(compute().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,287 @@
+"""Two-pass assembler for the reproduction ISA.
+
+Syntax (one statement per line, ``;`` or ``#`` start a comment)::
+
+    .data   name N              ; reserve N zero words, label `name`
+    .dataw  name v0 v1 ...      ; initialised words, label `name`
+    label:                      ; code label (may share a line with an insn)
+        li    r1, 0
+        la    r2, name          ; rd <- byte address of data label
+        ld    r3, 8(r2)         ; displacement(base)
+        ld    r3, name(r1)      ; data-label displacement
+        add   r4, r3, r1
+        beq   r4, r1, label
+        beqz  r4, label
+        j     label
+        halt
+
+Registers are ``r0`` .. ``r63``.  Immediates are decimal, hex (0x..),
+negative, a data label, or ``label+offset``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .instructions import Instruction, validate
+from .opcodes import (
+    REG_IMM_ALU,
+    REG_REG_ALU,
+    TWO_SRC_BRANCHES,
+    Op,
+)
+
+#: Reg-reg opcode -> immediate-form opcode, for assembler convenience.
+_IMM_FORM = {
+    Op.ADD: Op.ADDI,
+    Op.MUL: Op.MULI,
+    Op.AND: Op.ANDI,
+    Op.OR: Op.ORI,
+    Op.XOR: Op.XORI,
+    Op.SLL: Op.SLLI,
+    Op.SRL: Op.SRLI,
+    Op.SLT: Op.SLTI,
+    Op.SEQ: Op.SEQI,
+}
+from .program import DATA_BASE, WORD, Program
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input."""
+
+    def __init__(self, msg: str, lineno: int = -1, line: str = ""):
+        super().__init__(f"line {lineno}: {msg}: {line!r}" if lineno >= 0 else msg)
+        self.lineno = lineno
+
+
+_REG_RE = re.compile(r"^r(\d{1,2})$")
+_MEM_RE = re.compile(r"^([^()\s]+)\((r\d{1,2})\)$")
+_LABEL_OFF_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*\+\s*((?:0x[0-9a-fA-F]+|\d+))$")
+
+#: Pseudo-ops expanded by the assembler.
+_PSEUDO = {"la", "subi"}
+
+_NO_OPERANDS = {"nop": Op.NOP, "halt": Op.HALT}
+
+_ZCMP_BRANCHES = {Op.BEQZ, Op.BNEZ, Op.BLTZ, Op.BGEZ}
+
+
+def _parse_reg(tok: str, lineno: int, line: str) -> int:
+    m = _REG_RE.match(tok)
+    if not m:
+        raise AssemblerError(f"expected register, got {tok!r}", lineno, line)
+    n = int(m.group(1))
+    if n >= 64:
+        raise AssemblerError(f"register out of range: {tok!r}", lineno, line)
+    return n
+
+
+def _parse_int(tok: str) -> Optional[int]:
+    try:
+        return int(tok, 0)
+    except ValueError:
+        return None
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def __init__(self) -> None:
+        self._code_labels: Dict[str, int] = {}
+        self._data_labels: Dict[str, int] = {}
+        self._data_init: Dict[int, int] = {}
+        self._data_cursor = DATA_BASE
+
+    # -- public entry point ------------------------------------------------
+    def assemble(self, source: str, name: str = "") -> Program:
+        statements = self._pass1(source)
+        code = self._pass2(statements)
+        return Program(
+            code=code,
+            labels=dict(self._code_labels),
+            data_labels=dict(self._data_labels),
+            data_init=dict(self._data_init),
+            data_end=self._data_cursor,
+            name=name,
+        )
+
+    # -- pass 1: labels, data layout, statement collection ------------------
+    def _pass1(self, source: str) -> List[Tuple[int, str, List[str]]]:
+        statements: List[Tuple[int, str, List[str]]] = []
+        pc = 0
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split(";")[0].split("#")[0].strip()
+            if not line:
+                continue
+            if line.startswith(".data"):
+                self._directive(line, lineno, raw)
+                continue
+            while True:
+                m = re.match(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$", line)
+                if not m:
+                    break
+                label, rest = m.group(1), m.group(2)
+                if label in self._code_labels:
+                    raise AssemblerError(f"duplicate label {label!r}", lineno, raw)
+                self._code_labels[label] = pc
+                line = rest.strip()
+            if not line:
+                continue
+            parts = line.replace(",", " ").split()
+            statements.append((lineno, raw, parts))
+            pc += 1
+        return statements
+
+    def _directive(self, line: str, lineno: int, raw: str) -> None:
+        parts = line.replace(",", " ").split()
+        kind = parts[0]
+        if kind == ".data":
+            if len(parts) != 3:
+                raise AssemblerError(".data needs: .data name N", lineno, raw)
+            name, count = parts[1], _parse_int(parts[2])
+            if count is None or count < 0:
+                raise AssemblerError("bad .data count", lineno, raw)
+            self._alloc(name, count, lineno, raw)
+        elif kind == ".dataw":
+            if len(parts) < 3:
+                raise AssemblerError(".dataw needs: .dataw name v0 ...", lineno, raw)
+            name = parts[1]
+            values = []
+            for tok in parts[2:]:
+                v = _parse_int(tok)
+                if v is None:
+                    raise AssemblerError(f"bad .dataw value {tok!r}", lineno, raw)
+                values.append(v)
+            base = self._alloc(name, len(values), lineno, raw)
+            for i, v in enumerate(values):
+                if v != 0:
+                    self._data_init[base + i * WORD] = v & ((1 << 64) - 1)
+        else:
+            raise AssemblerError(f"unknown directive {kind!r}", lineno, raw)
+
+    def _alloc(self, name: str, words: int, lineno: int, raw: str) -> int:
+        if name in self._data_labels:
+            raise AssemblerError(f"duplicate data label {name!r}", lineno, raw)
+        base = self._data_cursor
+        self._data_labels[name] = base
+        self._data_cursor += words * WORD
+        return base
+
+    # -- pass 2: encode ------------------------------------------------------
+    def _resolve_imm(self, tok: str, lineno: int, raw: str) -> int:
+        v = _parse_int(tok)
+        if v is not None:
+            return v
+        m = _LABEL_OFF_RE.match(tok)
+        if m and m.group(1) in self._data_labels:
+            return self._data_labels[m.group(1)] + int(m.group(2), 0)
+        if tok in self._data_labels:
+            return self._data_labels[tok]
+        raise AssemblerError(f"unresolved immediate {tok!r}", lineno, raw)
+
+    def _resolve_target(self, tok: str, lineno: int, raw: str) -> int:
+        if tok in self._code_labels:
+            return self._code_labels[tok]
+        v = _parse_int(tok)
+        if v is not None:
+            return v
+        raise AssemblerError(f"unresolved code label {tok!r}", lineno, raw)
+
+    def _pass2(self, statements: List[Tuple[int, str, List[str]]]) -> List[Instruction]:
+        code: List[Instruction] = []
+        for pc, (lineno, raw, parts) in enumerate(statements):
+            instr = self._encode(pc, lineno, raw, parts)
+            try:
+                validate(instr)
+            except AssertionError as exc:
+                raise AssemblerError(str(exc), lineno, raw) from exc
+            code.append(instr)
+        return code
+
+    def _encode(self, pc: int, lineno: int, raw: str, parts: List[str]) -> Instruction:
+        mnemonic, ops = parts[0].lower(), parts[1:]
+        text = " ".join(parts)
+
+        if mnemonic in _NO_OPERANDS:
+            return Instruction(op=_NO_OPERANDS[mnemonic], pc=pc, text=text)
+
+        if mnemonic == "la":  # pseudo: rd <- address of data label
+            rd = _parse_reg(ops[0], lineno, raw)
+            imm = self._resolve_imm(ops[1], lineno, raw)
+            return Instruction(op=Op.LI, rd=rd, imm=imm, pc=pc, text=text)
+        if mnemonic == "subi":  # pseudo: addi with negated immediate
+            rd = _parse_reg(ops[0], lineno, raw)
+            rs1 = _parse_reg(ops[1], lineno, raw)
+            imm = self._resolve_imm(ops[2], lineno, raw)
+            return Instruction(op=Op.ADDI, rd=rd, rs1=rs1, imm=-imm, pc=pc, text=text)
+
+        try:
+            op = Op[mnemonic.upper()]
+        except KeyError:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", lineno, raw) from None
+
+        if op is Op.LD:
+            rd = _parse_reg(ops[0], lineno, raw)
+            m = _MEM_RE.match(ops[1])
+            if not m:
+                raise AssemblerError("ld needs disp(base)", lineno, raw)
+            imm = self._resolve_imm(m.group(1), lineno, raw)
+            rs1 = _parse_reg(m.group(2), lineno, raw)
+            return Instruction(op=op, rd=rd, rs1=rs1, imm=imm, pc=pc, text=text)
+        if op is Op.ST:
+            rs2 = _parse_reg(ops[0], lineno, raw)  # value to store
+            m = _MEM_RE.match(ops[1])
+            if not m:
+                raise AssemblerError("st needs disp(base)", lineno, raw)
+            imm = self._resolve_imm(m.group(1), lineno, raw)
+            rs1 = _parse_reg(m.group(2), lineno, raw)
+            return Instruction(op=op, rs1=rs1, rs2=rs2, imm=imm, pc=pc, text=text)
+        if op is Op.J:
+            return Instruction(op=op, target=self._resolve_target(ops[0], lineno, raw),
+                               pc=pc, text=text)
+        if op in TWO_SRC_BRANCHES:
+            rs1 = _parse_reg(ops[0], lineno, raw)
+            rs2 = _parse_reg(ops[1], lineno, raw)
+            target = self._resolve_target(ops[2], lineno, raw)
+            return Instruction(op=op, rs1=rs1, rs2=rs2, target=target, pc=pc, text=text)
+        if op in _ZCMP_BRANCHES:
+            rs1 = _parse_reg(ops[0], lineno, raw)
+            target = self._resolve_target(ops[1], lineno, raw)
+            return Instruction(op=op, rs1=rs1, target=target, pc=pc, text=text)
+        if op is Op.LI:
+            rd = _parse_reg(ops[0], lineno, raw)
+            imm = self._resolve_imm(ops[1], lineno, raw)
+            return Instruction(op=op, rd=rd, imm=imm, pc=pc, text=text)
+        if op in (Op.MOV, Op.ITOF, Op.FTOI):
+            rd = _parse_reg(ops[0], lineno, raw)
+            rs1 = _parse_reg(ops[1], lineno, raw)
+            return Instruction(op=op, rd=rd, rs1=rs1, pc=pc, text=text)
+
+        # Remaining: three-operand ALU forms, reg-reg or reg-imm.
+        if len(ops) != 3:
+            raise AssemblerError(f"{mnemonic} needs 3 operands", lineno, raw)
+        rd = _parse_reg(ops[0], lineno, raw)
+        rs1 = _parse_reg(ops[1], lineno, raw)
+        if _REG_RE.match(ops[2]):
+            if op in REG_IMM_ALU:
+                raise AssemblerError(f"{mnemonic} needs an immediate", lineno, raw)
+            rs2 = _parse_reg(ops[2], lineno, raw)
+            return Instruction(op=op, rd=rd, rs1=rs1, rs2=rs2, pc=pc, text=text)
+        imm = self._resolve_imm(ops[2], lineno, raw)
+        if op in REG_REG_ALU:
+            # Convenience: reg-reg mnemonics with a literal third operand
+            # assemble to the matching immediate form.
+            if op is Op.SUB:
+                op, imm = Op.ADDI, -imm
+            elif op in _IMM_FORM:
+                op = _IMM_FORM[op]
+            else:
+                raise AssemblerError(
+                    f"{mnemonic} has no immediate form", lineno, raw)
+        return Instruction(op=op, rd=rd, rs1=rs1, imm=imm, pc=pc, text=text)
+
+
+def assemble(source: str, name: str = "") -> Program:
+    """Assemble ``source`` into a :class:`Program`."""
+    return Assembler().assemble(source, name=name)

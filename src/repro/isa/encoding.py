@@ -1,0 +1,115 @@
+"""Binary encoding of instructions and programs.
+
+A fixed 16-byte little-endian record per instruction::
+
+    byte 0      opcode
+    byte 1      rd  (0xFF = none)
+    byte 2      rs1 (0xFF = none)
+    byte 3      rs2 (0xFF = none)
+    bytes 4-11  imm (64-bit two's complement)
+    bytes 12-15 target (0xFFFFFFFF = none)
+
+``encode_program``/``decode_program`` wrap a whole :class:`Program`
+(code + initial data image) in a small container with a magic header, so
+assembled workloads can be cached on disk or shipped between tools
+without re-running the assembler.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List
+
+from .instructions import Instruction, validate
+from .opcodes import Op
+from .program import Program
+
+MAGIC = b"RPRO"
+VERSION = 1
+_NONE_REG = 0xFF
+_NONE_TARGET = 0xFFFFFFFF
+_RECORD = struct.Struct("<BBBBqI")
+
+INSTRUCTION_SIZE = _RECORD.size  # 16 bytes
+
+
+class EncodingError(ValueError):
+    """Raised on malformed binary input."""
+
+
+def encode_instruction(instr: Instruction) -> bytes:
+    """Pack one instruction into its 16-byte record."""
+    return _RECORD.pack(
+        int(instr.op),
+        _NONE_REG if instr.rd is None else instr.rd,
+        _NONE_REG if instr.rs1 is None else instr.rs1,
+        _NONE_REG if instr.rs2 is None else instr.rs2,
+        instr.imm,
+        _NONE_TARGET if instr.target is None else instr.target,
+    )
+
+
+def decode_instruction(blob: bytes, pc: int = -1) -> Instruction:
+    """Unpack one 16-byte record (inverse of :func:`encode_instruction`)."""
+    if len(blob) != INSTRUCTION_SIZE:
+        raise EncodingError(f"expected {INSTRUCTION_SIZE} bytes, "
+                            f"got {len(blob)}")
+    op_v, rd, rs1, rs2, imm, target = _RECORD.unpack(blob)
+    try:
+        op = Op(op_v)
+    except ValueError:
+        raise EncodingError(f"unknown opcode value {op_v}") from None
+    instr = Instruction(
+        op=op,
+        rd=None if rd == _NONE_REG else rd,
+        rs1=None if rs1 == _NONE_REG else rs1,
+        rs2=None if rs2 == _NONE_REG else rs2,
+        imm=imm,
+        target=None if target == _NONE_TARGET else target,
+        pc=pc,
+    )
+    try:
+        validate(instr)
+    except AssertionError as exc:
+        raise EncodingError(f"invalid instruction record: {exc}") from exc
+    return instr
+
+
+def encode_program(program: Program) -> bytes:
+    """Serialise a whole program (code + initial data image)."""
+    parts: List[bytes] = [
+        MAGIC,
+        struct.pack("<HIIQ", VERSION, len(program.code),
+                    len(program.data_init), program.data_end),
+    ]
+    for instr in program.code:
+        parts.append(encode_instruction(instr))
+    for addr in sorted(program.data_init):
+        parts.append(struct.pack("<QQ", addr, program.data_init[addr]))
+    name = program.name.encode()[:255]
+    parts.append(struct.pack("<B", len(name)))
+    parts.append(name)
+    return b"".join(parts)
+
+
+def decode_program(blob: bytes) -> Program:
+    """Inverse of :func:`encode_program` (labels are not preserved)."""
+    if blob[:4] != MAGIC:
+        raise EncodingError("bad magic")
+    version, ncode, ndata, data_end = struct.unpack_from("<HIIQ", blob, 4)
+    if version != VERSION:
+        raise EncodingError(f"unsupported version {version}")
+    off = 4 + struct.calcsize("<HIIQ")
+    code: List[Instruction] = []
+    for pc in range(ncode):
+        code.append(decode_instruction(blob[off:off + INSTRUCTION_SIZE], pc))
+        off += INSTRUCTION_SIZE
+    data: Dict[int, int] = {}
+    for _ in range(ndata):
+        addr, value = struct.unpack_from("<QQ", blob, off)
+        data[addr] = value
+        off += 16
+    (name_len,) = struct.unpack_from("<B", blob, off)
+    off += 1
+    name = blob[off:off + name_len].decode()
+    return Program(code=code, data_init=data, data_end=data_end, name=name)

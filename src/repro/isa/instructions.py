@@ -1,0 +1,142 @@
+"""Static instruction representation.
+
+``Instruction`` is the decoded, label-resolved form a program is made of.
+PCs are instruction indices (the ISA is word-addressed for code); the
+paper's "instruction situated one location above the target address" is
+``program.code[target - 1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .opcodes import (
+    COND_BRANCHES,
+    FU_OF_OP,
+    NO_SRC_ALU,
+    ONE_SRC_ALU,
+    REG_REG_ALU,
+    TWO_SRC_BRANCHES,
+    FUClass,
+    Op,
+)
+
+NUM_LOGICAL_REGS = 64
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    ``rd``/``rs1``/``rs2`` are logical register numbers (or ``None``).
+    ``imm`` is the immediate (also the displacement of loads/stores).
+    ``target`` is the resolved branch/jump destination PC.
+    """
+
+    op: Op
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: int = 0
+    target: Optional[int] = None
+    pc: int = -1
+    #: original assembly text — debugging metadata, excluded from equality
+    text: str = field(default="", compare=False)
+    srcs: Tuple[int, ...] = field(init=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "srcs", self._compute_srcs())
+
+    def _compute_srcs(self) -> Tuple[int, ...]:
+        op = self.op
+        if op in REG_REG_ALU or op in TWO_SRC_BRANCHES:
+            return (self.rs1, self.rs2)
+        if op in ONE_SRC_ALU or op is Op.LD:
+            return (self.rs1,)
+        if op in COND_BRANCHES:  # single-source zero-compare branches
+            return (self.rs1,)
+        if op is Op.ST:
+            return (self.rs1, self.rs2)  # address base, stored value
+        return ()
+
+    # -- structural properties -------------------------------------------
+    @property
+    def is_load(self) -> bool:
+        return self.op is Op.LD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is Op.ST
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op is Op.LD or self.op is Op.ST
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.op in COND_BRANCHES
+
+    @property
+    def is_jump(self) -> bool:
+        return self.op is Op.J
+
+    @property
+    def is_control(self) -> bool:
+        return self.op in COND_BRANCHES or self.op is Op.J
+
+    @property
+    def is_halt(self) -> bool:
+        return self.op is Op.HALT
+
+    @property
+    def writes_reg(self) -> bool:
+        return self.rd is not None
+
+    @property
+    def fu_class(self) -> FUClass:
+        return FU_OF_OP[self.op]
+
+    @property
+    def is_backward_branch(self) -> bool:
+        """True for a conditional branch whose target precedes it.
+
+        The paper's re-convergence heuristic treats backward branches as
+        loop-closing branches.
+        """
+        return self.is_cond_branch and self.target is not None and self.target <= self.pc
+
+    @property
+    def is_forward_branch(self) -> bool:
+        return self.is_cond_branch and self.target is not None and self.target > self.pc
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if self.text:
+            return f"{self.pc:5d}: {self.text}"
+        return f"{self.pc:5d}: {self.op.name}"
+
+
+def make_nop(pc: int = -1) -> Instruction:
+    return Instruction(op=Op.NOP, pc=pc, text="nop")
+
+
+_validity_checked = set()
+
+
+def validate(instr: Instruction) -> None:
+    """Sanity-check field population for an opcode (used by the assembler)."""
+    op = instr.op
+    if op in REG_REG_ALU:
+        assert instr.rd is not None and instr.rs1 is not None and instr.rs2 is not None
+    elif op in ONE_SRC_ALU:
+        assert instr.rd is not None and instr.rs1 is not None
+    elif op in NO_SRC_ALU:
+        assert instr.rd is not None
+    elif op is Op.LD:
+        assert instr.rd is not None and instr.rs1 is not None
+    elif op is Op.ST:
+        assert instr.rs1 is not None and instr.rs2 is not None and instr.rd is None
+    elif op in COND_BRANCHES or op is Op.J:
+        assert instr.target is not None
+    for r in instr.srcs + ((instr.rd,) if instr.rd is not None else ()):
+        assert r is not None and 0 <= r < NUM_LOGICAL_REGS, f"bad register in {instr}"

@@ -1,0 +1,124 @@
+"""Functional interpreter for the reproduction ISA.
+
+Serves three roles:
+
+* oracle for the timing simulator's correctness checks,
+* dynamic-trace generator for the trace-driven analysis tools, and
+* executable semantics for the workload test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .instructions import NUM_LOGICAL_REGS, Instruction
+from .opcodes import ALU_EVAL, BRANCH_COND, Op
+from .program import Program
+
+
+class InterpreterError(RuntimeError):
+    """Raised on runaway executions or malformed memory accesses."""
+
+
+@dataclass
+class InterpResult:
+    """Outcome of one functional execution."""
+
+    steps: int
+    halted: bool
+    regs: List[int]
+    memory: Dict[int, int]
+    #: dynamic conditional-branch count and taken count (quick stats)
+    branches: int = 0
+    taken: int = 0
+    loads: int = 0
+    stores: int = 0
+
+    def reg(self, n: int) -> int:
+        return self.regs[n]
+
+    def mem_word(self, addr: int) -> int:
+        return self.memory.get(addr, 0)
+
+
+#: Optional per-instruction observer: fn(pc, instr, result_value, eff_addr)
+TraceHook = Callable[[int, Instruction, Optional[int], Optional[int]], None]
+
+
+def run(
+    program: Program,
+    max_steps: int = 2_000_000,
+    trace_hook: Optional[TraceHook] = None,
+    regs: Optional[List[int]] = None,
+    memory: Optional[Dict[int, int]] = None,
+) -> InterpResult:
+    """Execute ``program`` functionally until HALT or ``max_steps``.
+
+    ``regs``/``memory`` may be supplied to resume or seed state; they are
+    mutated in place when given.
+    """
+    code = program.code
+    ncode = len(code)
+    if regs is None:
+        regs = [0] * NUM_LOGICAL_REGS
+    if memory is None:
+        memory = program.initial_memory()
+
+    pc = 0
+    steps = branches = taken = loads = stores = 0
+    alu_eval = ALU_EVAL
+    br_cond = BRANCH_COND
+
+    while 0 <= pc < ncode:
+        if steps >= max_steps:
+            raise InterpreterError(
+                f"program {program.name!r} exceeded {max_steps} steps (pc={pc})")
+        instr = code[pc]
+        steps += 1
+        op = instr.op
+        next_pc = pc + 1
+        result: Optional[int] = None
+        eff_addr: Optional[int] = None
+
+        if op in alu_eval:
+            a = regs[instr.rs1] if instr.rs1 is not None else 0
+            b = regs[instr.rs2] if instr.rs2 is not None else 0
+            result = alu_eval[op](a, b, instr.imm)
+            regs[instr.rd] = result
+        elif op is Op.LD:
+            eff_addr = (regs[instr.rs1] + instr.imm) & ((1 << 64) - 1)
+            result = memory.get(eff_addr, 0)
+            regs[instr.rd] = result
+            loads += 1
+        elif op is Op.ST:
+            eff_addr = (regs[instr.rs1] + instr.imm) & ((1 << 64) - 1)
+            memory[eff_addr] = regs[instr.rs2]
+            stores += 1
+        elif op in br_cond:
+            a = regs[instr.rs1]
+            b = regs[instr.rs2] if instr.rs2 is not None else 0
+            branches += 1
+            if br_cond[op](a, b):
+                taken += 1
+                next_pc = instr.target
+        elif op is Op.J:
+            next_pc = instr.target
+        elif op is Op.HALT:
+            if trace_hook is not None:
+                trace_hook(pc, instr, None, None)
+            return InterpResult(steps=steps, halted=True, regs=regs,
+                                memory=memory, branches=branches, taken=taken,
+                                loads=loads, stores=stores)
+        elif op is Op.NOP:
+            pass
+        else:  # pragma: no cover - defensive
+            raise InterpreterError(f"unimplemented opcode {op!r} at pc={pc}")
+
+        if trace_hook is not None:
+            trace_hook(pc, instr, result, eff_addr)
+        pc = next_pc
+
+    return InterpResult(steps=steps, halted=False, regs=regs, memory=memory,
+                        branches=branches, taken=taken, loads=loads,
+                        stores=stores)

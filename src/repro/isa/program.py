@@ -1,0 +1,58 @@
+"""Program container: assembled code plus the initial data image."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .instructions import Instruction
+
+#: Base byte address of the data segment.  Code addresses (PCs) are
+#: instruction indices in a separate space, so any base works; a non-zero
+#: base makes accidental address/PC confusion easy to spot.
+DATA_BASE = 0x10000
+WORD = 8  # bytes per data word
+
+
+@dataclass
+class Program:
+    """An assembled program.
+
+    ``code``        decoded instructions; ``code[i].pc == i``.
+    ``labels``      code label -> PC.
+    ``data_labels`` data label -> byte address.
+    ``data_init``   initial memory image, byte address -> word value.
+    ``data_end``    first free byte address after the static data.
+    """
+
+    code: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    data_labels: Dict[str, int] = field(default_factory=dict)
+    data_init: Dict[int, int] = field(default_factory=dict)
+    data_end: int = DATA_BASE
+    name: str = ""
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+    def initial_memory(self) -> Dict[int, int]:
+        """A fresh mutable memory image for one execution."""
+        return dict(self.data_init)
+
+    def instruction_above(self, pc: int) -> Instruction | None:
+        """The instruction one location above ``pc`` (paper's heuristic probe)."""
+        if 0 < pc <= len(self.code):
+            return self.code[pc - 1]
+        return None
+
+    def listing(self) -> str:
+        """Human-readable disassembly with labels."""
+        by_pc: Dict[int, List[str]] = {}
+        for name, pc in self.labels.items():
+            by_pc.setdefault(pc, []).append(name)
+        lines = []
+        for instr in self.code:
+            for lab in by_pc.get(instr.pc, ()):
+                lines.append(f"{lab}:")
+            lines.append(f"  {instr.pc:5d}  {instr.text or instr.op.name}")
+        return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Trace-driven front end: dynamic traces and offline analyses."""
+
+from .analysis import (
+    BranchStats,
+    LoadStats,
+    ReconvergenceCheck,
+    TraceProfile,
+    check_reconvergence,
+    profile_trace,
+)
+from .events import TraceEvent
+from .tracer import collect_trace
+
+__all__ = [
+    "BranchStats",
+    "LoadStats",
+    "ReconvergenceCheck",
+    "TraceEvent",
+    "TraceProfile",
+    "check_reconvergence",
+    "collect_trace",
+    "profile_trace",
+]

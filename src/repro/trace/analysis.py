@@ -1,0 +1,182 @@
+"""Offline trace analyses.
+
+These mirror, in a trace-driven setting, the statistics the hardware
+structures gather online: branch bias (MBS), load stride behaviour (stride
+predictor), and re-convergence (NRBQ/CRP heuristics).  They are used by the
+workload test-suite to *characterise* kernels, and by examples to explain
+why the mechanism helps where it does.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ci.reconverge import estimate_reconvergent_point
+from ..isa import Program
+from .events import TraceEvent
+
+
+@dataclass
+class BranchStats:
+    """Dynamic behaviour of one static conditional branch."""
+
+    pc: int
+    execs: int = 0
+    taken: int = 0
+    transitions: int = 0          # direction changes between executions
+    _last: Optional[bool] = None
+
+    def record(self, taken: bool) -> None:
+        self.execs += 1
+        if taken:
+            self.taken += 1
+        if self._last is not None and self._last != taken:
+            self.transitions += 1
+        self._last = taken
+
+    @property
+    def taken_rate(self) -> float:
+        return self.taken / self.execs if self.execs else 0.0
+
+    @property
+    def bias(self) -> float:
+        """max(taken, not-taken) rate — 1.0 means perfectly biased."""
+        if not self.execs:
+            return 1.0
+        return max(self.taken, self.execs - self.taken) / self.execs
+
+    @property
+    def is_hard(self) -> bool:
+        """Heuristic hard-to-predict flag (what MBS approximates online)."""
+        return self.execs >= 8 and self.bias < 0.95
+
+
+@dataclass
+class LoadStats:
+    """Dynamic address behaviour of one static load."""
+
+    pc: int
+    execs: int = 0
+    strided_pairs: int = 0        # consecutive executions with repeated stride
+    _last_addr: Optional[int] = None
+    _last_stride: Optional[int] = None
+    stride_histogram: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, addr: int) -> None:
+        self.execs += 1
+        if self._last_addr is not None:
+            stride = addr - self._last_addr
+            self.stride_histogram[stride] = self.stride_histogram.get(stride, 0) + 1
+            if self._last_stride is not None and stride == self._last_stride:
+                self.strided_pairs += 1
+            self._last_stride = stride
+        self._last_addr = addr
+
+    @property
+    def stride_rate(self) -> float:
+        """Fraction of executions continuing an established stride."""
+        if self.execs < 3:
+            return 0.0
+        return self.strided_pairs / (self.execs - 2)
+
+    @property
+    def dominant_stride(self) -> Optional[int]:
+        if not self.stride_histogram:
+            return None
+        return max(self.stride_histogram.items(), key=lambda kv: kv[1])[0]
+
+    @property
+    def is_strided(self) -> bool:
+        return self.execs >= 4 and self.stride_rate >= 0.75
+
+
+@dataclass
+class TraceProfile:
+    """Aggregate profile of one dynamic trace."""
+
+    instructions: int
+    branches: Dict[int, BranchStats]
+    loads: Dict[int, LoadStats]
+
+    @property
+    def hard_branches(self) -> List[BranchStats]:
+        return [b for b in self.branches.values() if b.is_hard]
+
+    @property
+    def strided_loads(self) -> List[LoadStats]:
+        return [l for l in self.loads.values() if l.is_strided]
+
+    @property
+    def dynamic_branch_count(self) -> int:
+        return sum(b.execs for b in self.branches.values())
+
+    @property
+    def hard_branch_fraction(self) -> float:
+        """Fraction of dynamic branches executed by hard static branches."""
+        total = self.dynamic_branch_count
+        if not total:
+            return 0.0
+        hard = sum(b.execs for b in self.branches.values() if b.is_hard)
+        return hard / total
+
+
+def profile_trace(events: List[TraceEvent]) -> TraceProfile:
+    """Build a :class:`TraceProfile` from a dynamic trace."""
+    branches: Dict[int, BranchStats] = {}
+    loads: Dict[int, LoadStats] = {}
+    for ev in events:
+        if ev.is_cond_branch and ev.taken is not None:
+            b = branches.get(ev.pc)
+            if b is None:
+                b = branches[ev.pc] = BranchStats(pc=ev.pc)
+            b.record(ev.taken)
+        elif ev.is_load and ev.eff_addr is not None:
+            l = loads.get(ev.pc)
+            if l is None:
+                l = loads[ev.pc] = LoadStats(pc=ev.pc)
+            l.record(ev.eff_addr)
+    return TraceProfile(instructions=len(events), branches=branches, loads=loads)
+
+
+@dataclass
+class ReconvergenceCheck:
+    """Validation of the static re-convergence heuristic on a trace."""
+
+    branch_pc: int
+    estimated_pc: int
+    occurrences: int = 0          # dynamic executions of the branch
+    reconverged: int = 0          # executions that later reached the estimate
+
+    @property
+    def hit_rate(self) -> float:
+        return self.reconverged / self.occurrences if self.occurrences else 0.0
+
+
+def check_reconvergence(program: Program, events: List[TraceEvent],
+                        horizon: int = 200) -> Dict[int, ReconvergenceCheck]:
+    """Measure how often the heuristic's estimate is actually reached.
+
+    For every dynamic conditional branch, scan up to ``horizon`` subsequent
+    dynamic instructions for the estimated re-convergent PC.
+    """
+    estimates: Dict[int, int] = {}
+    checks: Dict[int, ReconvergenceCheck] = {}
+    pcs = [ev.pc for ev in events]
+    for idx, ev in enumerate(events):
+        if not ev.is_cond_branch:
+            continue
+        est = estimates.get(ev.pc)
+        if est is None:
+            est = estimates[ev.pc] = estimate_reconvergent_point(program, ev.instr)
+        chk = checks.get(ev.pc)
+        if chk is None:
+            chk = checks[ev.pc] = ReconvergenceCheck(branch_pc=ev.pc, estimated_pc=est)
+        chk.occurrences += 1
+        end = min(idx + 1 + horizon, len(pcs))
+        for j in range(idx + 1, end):
+            if pcs[j] == est:
+                chk.reconverged += 1
+                break
+    return checks

@@ -1,0 +1,40 @@
+"""Dynamic-trace record types.
+
+A trace is a list of :class:`TraceEvent` produced by one functional
+execution.  Traces feed the offline analyses (branch bias, stride
+detection, re-convergence validation) and let tests pin down mechanism
+behaviour without running the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..isa import Instruction
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One retired dynamic instruction."""
+
+    seq: int                  # dynamic sequence number (0-based)
+    pc: int                   # static PC (instruction index)
+    instr: Instruction        # static instruction
+    result: Optional[int]     # destination value (None if no destination)
+    eff_addr: Optional[int]   # effective address for loads/stores
+    next_pc: int              # PC of the following dynamic instruction
+    #: For conditional branches: whether the branch was taken.
+    taken: Optional[bool] = None
+
+    @property
+    def is_load(self) -> bool:
+        return self.instr.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.instr.is_store
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.instr.is_cond_branch

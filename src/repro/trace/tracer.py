@@ -1,0 +1,30 @@
+"""Dynamic trace generation via the functional interpreter."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa import Program
+from ..isa import interp
+from .events import TraceEvent
+
+
+def collect_trace(program: Program, max_steps: int = 2_000_000) -> List[TraceEvent]:
+    """Run ``program`` functionally and return its full dynamic trace."""
+    raw: list = []
+    interp.run(program, max_steps=max_steps,
+               trace_hook=lambda pc, instr, res, ea: raw.append((pc, instr, res, ea)))
+    events: List[TraceEvent] = []
+    n = len(raw)
+    for seq, (pc, instr, res, ea) in enumerate(raw):
+        next_pc = raw[seq + 1][0] if seq + 1 < n else pc + 1
+        taken = None
+        if instr.is_cond_branch:
+            taken = next_pc == instr.target and next_pc != pc + 1
+            # A branch whose target IS the fall-through is trivially taken;
+            # resolve via the condition in that degenerate case.
+            if instr.target == pc + 1:
+                taken = True  # direction is unobservable and irrelevant
+        events.append(TraceEvent(seq=seq, pc=pc, instr=instr, result=res,
+                                 eff_addr=ea, next_pc=next_pc, taken=taken))
+    return events

@@ -1,0 +1,157 @@
+"""Processor configuration — Table 1 of the paper, plus mechanism knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+#: Sentinel for an effectively unbounded register file ("Inf" in Figure 9).
+INF_REGS = 1_000_000
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level (sizes in bytes)."""
+
+    size: int
+    assoc: int
+    line: int
+    hit_latency: int
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Full machine configuration.
+
+    Defaults reproduce Table 1: an 8-way out-of-order superscalar with a
+    256-entry instruction window and the three-level cache hierarchy.
+    """
+
+    # Front end.
+    fetch_width: int = 8
+    max_taken_per_fetch: int = 1          # "up to 1 taken branch"
+    frontend_depth: int = 3               # fetch -> dispatch latency (cycles)
+    fetch_queue_size: int = 32
+
+    # Window / commit.
+    window_size: int = 256
+    lsq_size: int = 64
+    issue_width: int = 8
+    commit_width: int = 8
+
+    # Functional units (counts; latencies live in isa.opcodes.FU_LATENCY).
+    num_int_alu: int = 6
+    num_int_muldiv: int = 3
+    num_fp_add: int = 4
+    num_fp_muldiv: int = 2
+    num_mem_units: int = 8                # address-generation slots (ports gate
+                                          # actual cache bandwidth)
+
+    # Register file.
+    phys_regs: int = 256                  # total physical registers
+    # Branch predictor: gshare with 64K 2-bit counters (Table 1); the
+    # ablation harness also supports "bimodal" and "static" (BTFN).
+    gshare_bits: int = 16
+    bpred_kind: str = "gshare"
+
+    # L1 data cache ports and the wide-bus option (Section 2.4.5).
+    l1d_ports: int = 1
+    wide_bus: bool = False
+    wide_loads_per_access: int = 4        # loads served by one wide access
+
+    # Cache hierarchy (Table 1).
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(64 * 1024, 2, 32, 1))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(256 * 1024, 4, 32, 6))
+    l3: CacheConfig = field(default_factory=lambda: CacheConfig(2 * 1024 * 1024, 4, 64, 18))
+    memory_latency: int = 100
+    mshrs: int = 16                       # outstanding L1 misses
+
+    # ---- control-independence mechanism (None = plain superscalar) ------
+    #: one of None, "ci", "ci-iw" (squash reuse inside the window only),
+    #: "vect" (full dynamic vectorization of [12], no CI filtering).
+    ci_policy: Optional[str] = None
+    replicas: int = 4                     # speculative instances per insn
+    stride_sets: int = 256
+    stride_ways: int = 4
+    srsmt_sets: int = 64
+    srsmt_ways: int = 4
+    mbs_sets: int = 64
+    mbs_ways: int = 4
+    nrbq_size: int = 16
+    strided_pcs_per_entry: int = 2        # Figure 4 knob
+    #: CI selection window: instructions considered after the re-convergent
+    #: point before the CRP disarms.
+    ci_select_window: int = 48
+    #: extra commit restrictions for the coherence check (Section 2.4.3)
+    ci_store_commit_extra: int = 1
+    ci_max_store_commits: int = 2
+    # Implementation refinements beyond the paper's sketch (DESIGN.md §5):
+    #: repair the decode cursor for validations that survived a recovery
+    #: (the paper's plain decode<-commit forgets them and churns replicas)
+    ci_recovery_repair: bool = True
+    #: store-conflict check tests stride-aligned membership, not just the
+    #: [lo, hi] bounds (the paper's conservative range check)
+    ci_exact_range_check: bool = True
+    #: stop re-selecting a load after this many store conflicts (0 = never)
+    ci_conflict_blacklist: int = 2
+    #: free registers kept out of the replicas' reach (Section 2.4.1's
+    #: low-priority rule applied to register allocation)
+    ci_alloc_headroom: int = 64
+    #: Dead Association Elimination Counter (Section 2.4.2); disabling it
+    #: reproduces the in-text register-usage comparison (812 vs 304)
+    ci_daec: bool = True
+    #: MBS hard-branch filter (Section 2.3.1); disabling it arms the CRP
+    #: on *every* misprediction (ablation)
+    ci_mbs_filter: bool = True
+
+    # Speculative data memory (Section 2.4.6).  None => replicas allocate
+    # from the monolithic register file.
+    spec_mem_size: Optional[int] = None
+    spec_mem_latency: int = 2
+    spec_mem_read_ports: int = 2
+    spec_mem_write_ports: int = 2
+
+    # Simulation limits.
+    max_cycles: int = 4_000_000
+
+    def __post_init__(self) -> None:
+        if self.ci_policy not in (None, "ci", "ci-iw", "vect"):
+            raise ValueError(f"unknown ci_policy {self.ci_policy!r}")
+        if self.phys_regs < 64 + 8:
+            raise ValueError("phys_regs must cover 64 architectural registers")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.bpred_kind not in ("gshare", "bimodal", "static"):
+            raise ValueError(f"unknown bpred_kind {self.bpred_kind!r}")
+
+    @property
+    def rename_regs(self) -> int:
+        """Registers available for renaming beyond the architectural state."""
+        return self.phys_regs - 64
+
+
+# ---------------------------------------------------------------------------
+# Named configurations used throughout the evaluation section.
+# ---------------------------------------------------------------------------
+
+def scal(ports: int = 1, regs: int = 256) -> ProcessorConfig:
+    """Baseline superscalar with scalar L1 ports ("scalxp")."""
+    return ProcessorConfig(l1d_ports=ports, wide_bus=False, phys_regs=regs)
+
+
+def wb(ports: int = 1, regs: int = 256) -> ProcessorConfig:
+    """Superscalar with wide L1 buses ("wbxp")."""
+    return ProcessorConfig(l1d_ports=ports, wide_bus=True, phys_regs=regs)
+
+
+def ci(ports: int = 1, regs: int = 256, replicas: int = 4,
+       policy: str = "ci", **overrides) -> ProcessorConfig:
+    """Wide-bus superscalar plus the control-independence mechanism."""
+    return ProcessorConfig(l1d_ports=ports, wide_bus=True, phys_regs=regs,
+                           ci_policy=policy, replicas=replicas, **overrides)
+
+
+def with_spec_mem(cfg: ProcessorConfig, positions: int,
+                  latency: int = 2) -> ProcessorConfig:
+    """Attach the small speculative data memory ("ci-h-<positions>")."""
+    return replace(cfg, spec_mem_size=positions, spec_mem_latency=latency)

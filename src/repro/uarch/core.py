@@ -1,0 +1,480 @@
+"""The cycle-level out-of-order core.
+
+Execution model (DESIGN.md §5): instructions execute *functionally* at
+dispatch — including down mispredicted paths, against a speculative
+register file and memory image with per-instruction undo records — while
+the timing model decides when results become available.  This mirrors
+SimpleScalar's sim-outorder structure and gives real wrong-path fetch,
+which the control-independence mechanism's mask construction needs.
+
+Stage order within a cycle (reverse pipeline order, standard):
+commit → writeback → issue → dispatch → fetch → mechanism hooks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..isa import (
+    ALU_EVAL,
+    BRANCH_COND,
+    MASK64,
+    FUClass,
+    FU_LATENCY,
+    Instruction,
+    NUM_LOGICAL_REGS,
+    Op,
+    Program,
+)
+from .bpred import make_predictor
+from .caches import MemoryHierarchy
+from .config import ProcessorConfig
+from .frontend import FetchUnit
+from .funits import FUPool
+from .rename import FreeList, RenameTable
+from .rob import DynInst, MEM_ABSENT
+from .stats import SimStats
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation cannot make progress."""
+
+
+class Hooks:
+    """Mechanism attachment points; the base class is a no-op superscalar."""
+
+    def attach(self, core: "Core") -> None:
+        self.core = core
+
+    def on_dispatch(self, inst: DynInst) -> None:
+        """Called after functional execution + renaming of ``inst``.
+
+        May set ``inst.validated`` (and ``inst.done_cycle``) to make the
+        core skip execution entirely (replica reuse)."""
+
+    def on_branch_resolved(self, inst: DynInst) -> None:
+        """Called when a conditional branch executes (before recovery)."""
+
+    def on_recovery(self, pivot: DynInst, squashed: List[DynInst],
+                    is_branch: bool) -> None:
+        """Called after the window was walked back to ``pivot``."""
+
+    def on_commit(self, inst: DynInst) -> None:
+        """Called as ``inst`` retires."""
+
+    def on_store_commit(self, inst: DynInst) -> bool:
+        """Return True if the store conflicts with speculative data
+        (Section 2.4.3) and younger instructions must be squashed."""
+        return False
+
+    def on_cycle(self, leftover_issue_slots: int, ports: "PortState") -> None:
+        """End-of-cycle hook: replica issue uses leftover resources."""
+
+    def dispatch_gate(self) -> bool:
+        """Return False to block dispatch this cycle (e.g. an in-pipeline
+        vector instruction waiting for registers, as in [12])."""
+        return True
+
+    def validated_extra_latency(self, inst: DynInst) -> int:
+        """Extra cycles before a validated instruction's value is usable
+        (the speculative-data-memory copy path)."""
+        return 0
+
+
+class PortState:
+    """Per-cycle L1 data-cache port arbitration, including wide buses."""
+
+    def __init__(self, cfg: ProcessorConfig, stats: SimStats,
+                 hierarchy: MemoryHierarchy):
+        self.cfg = cfg
+        self.stats = stats
+        self.hierarchy = hierarchy
+        self.ports_left = cfg.l1d_ports
+        self.open_lines: Dict[int, int] = {}
+
+    def can_load(self, line: int) -> bool:
+        if self.cfg.wide_bus and self.open_lines.get(line, 0) > 0:
+            return True
+        return self.ports_left > 0
+
+    def do_load(self, line: int, replica: bool = False) -> None:
+        """Consume port bandwidth for one load (``can_load`` must hold)."""
+        if self.cfg.wide_bus:
+            slots = self.open_lines.get(line, 0)
+            if slots > 0:
+                self.open_lines[line] = slots - 1
+                return
+            self.ports_left -= 1
+            self.open_lines[line] = self.cfg.wide_loads_per_access - 1
+        else:
+            self.ports_left -= 1
+        self.stats.l1d_accesses += 1
+        if replica:
+            self.stats.l1d_replica_accesses += 1
+        else:
+            self.stats.l1d_load_accesses += 1
+
+    def try_store(self) -> bool:
+        if self.ports_left <= 0:
+            return False
+        self.ports_left -= 1
+        self.stats.l1d_accesses += 1
+        self.stats.l1d_store_accesses += 1
+        return True
+
+
+class Core:
+    """One simulated processor running one program."""
+
+    def __init__(self, cfg: ProcessorConfig, program: Program,
+                 hooks: Optional[Hooks] = None):
+        self.cfg = cfg
+        self.program = program
+        self.stats = SimStats()
+        self.bpred = make_predictor(cfg.bpred_kind, cfg.gshare_bits)
+        self.fetch = FetchUnit(cfg, program, self.bpred)
+        self.hierarchy = MemoryHierarchy(cfg)
+        self.fu = FUPool(cfg)
+        self.rename = RenameTable(NUM_LOGICAL_REGS, cfg.strided_pcs_per_entry)
+        self.freelist = FreeList(cfg.rename_regs)
+        self.window: Deque[DynInst] = deque()
+        self.lsq_count = 0
+        #: in-flight stores per effective address (youngest last)
+        self.store_map: Dict[int, List[DynInst]] = {}
+        # Speculative architectural state (functional-at-dispatch).
+        self.sregs: List[int] = [0] * NUM_LOGICAL_REGS
+        self.mem: Dict[int, int] = program.initial_memory()
+        # Scheduling structures.
+        self.ready: List[tuple] = []        # (seq, inst)
+        self.completion: List[tuple] = []   # (done_cycle, seq, inst)
+        self.cycle = 0
+        self.halted = False
+        self.hooks = hooks or Hooks()
+        self.hooks.attach(self)
+        self._last_progress_cycle = 0
+
+    # ------------------------------------------------------------------
+    # Public driver.
+    # ------------------------------------------------------------------
+    def run(self, max_instructions: Optional[int] = None) -> SimStats:
+        """Simulate until the program halts (or limits trip)."""
+        max_insn = max_instructions or (1 << 62)
+        while not self.halted:
+            self.cycle += 1
+            self.stats.cycles = self.cycle
+            if self.cycle > self.cfg.max_cycles:
+                raise SimulationError(
+                    f"{self.program.name}: exceeded {self.cfg.max_cycles} cycles")
+            if self.cycle - self._last_progress_cycle > 20_000:
+                raise SimulationError(
+                    f"{self.program.name}: no commit for 20k cycles at "
+                    f"cycle {self.cycle} (head={self.window[0] if self.window else None})")
+            self.fu.reset()
+            ports = PortState(self.cfg, self.stats, self.hierarchy)
+            self._commit(ports)
+            if self.halted or self.stats.committed >= max_insn:
+                break
+            self._writeback()
+            leftover = self._issue(ports)
+            self._dispatch()
+            self.stats.fetched += self.fetch.fetch_cycle(self.cycle)
+            self.hooks.on_cycle(leftover, ports)
+            self.stats.record_reg_usage(self.freelist.in_use)
+            if self.cycle % self.stats.interval_cycles == 0:
+                self.stats.record_interval()
+            if (not self.window and self.fetch.empty and not self.completion):
+                break  # fell off the end of the program
+        self.stats.stridedpc_assignments = self.rename.assign_count
+        self.stats.stridedpc_sum = self.rename.assign_sum
+        self.stats.stridedpc_overflow = self.rename.overflow_count
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Commit.
+    # ------------------------------------------------------------------
+    def _commit(self, ports: PortState) -> None:
+        cfg = self.cfg
+        slots = cfg.commit_width
+        stores_this_cycle = 0
+        while slots > 0 and self.window:
+            inst = self.window[0]
+            if not inst.done and not (
+                    inst.validated and 0 <= inst.commit_ready_at <= self.cycle):
+                break
+            instr = inst.instr
+            if instr.is_store:
+                # The coherence check (Section 2.4.3) taxes store commit
+                # only when replicas exist to check against.
+                has_replicas = cfg.ci_policy in ("ci", "vect")
+                max_stores = (cfg.ci_max_store_commits if has_replicas
+                              else cfg.l1d_ports + 1)
+                if stores_this_cycle >= max_stores:
+                    break
+                if not ports.try_store():
+                    break
+                cost = 1 + (cfg.ci_store_commit_extra if has_replicas else 0)
+                if slots < cost:
+                    break
+                slots -= cost
+                stores_this_cycle += 1
+            else:
+                slots -= 1
+            self.window.popleft()
+            inst.committed = True
+            self.stats.committed += 1
+            self._last_progress_cycle = self.cycle
+            if inst.validated:
+                self.stats.committed_reused += 1
+            if instr.writes_reg:
+                self.freelist.release(1)
+                self.rename.clear_owner_if(instr.rd, inst)
+            if instr.is_mem:
+                self.lsq_count -= 1
+            if instr.is_store:
+                self.stats.stores_committed += 1
+                self.hierarchy.store_access(inst.eff_addr)
+                self._store_map_remove(inst)
+                conflict = self.hooks.on_store_commit(inst)
+                if conflict:
+                    self.stats.coherence_squashes += 1
+                    self._recover(inst, inst.pc + 1, is_branch=False)
+                    self.hooks.on_commit(inst)
+                    return
+            if instr.is_cond_branch:
+                self.stats.cond_branches += 1
+                if inst.mispredicted:
+                    self.stats.mispredicts += 1
+                    if inst.hard_branch:
+                        self.stats.mispredicts_hard += 1
+            self.hooks.on_commit(inst)
+            if instr.is_halt:
+                self.halted = True
+                return
+
+    # ------------------------------------------------------------------
+    # Writeback / branch resolution.
+    # ------------------------------------------------------------------
+    def _writeback(self) -> None:
+        comp = self.completion
+        while comp and comp[0][0] <= self.cycle:
+            _, _, inst = heapq.heappop(comp)
+            if inst.squashed or inst.done:
+                continue
+            inst.done = True
+            for c in inst.consumers:
+                c.num_pending -= 1
+                if (c.num_pending == 0 and not c.issued and not c.squashed
+                        and not c.in_ready):
+                    c.in_ready = True
+                    heapq.heappush(self.ready, (c.seq, c))
+            if inst.instr.is_cond_branch:
+                self.bpred.train(inst.pc, inst.bp_history, inst.actual_taken)
+                self.hooks.on_branch_resolved(inst)
+                if inst.mispredicted and not inst.squashed:
+                    self.bpred.recover(inst.bp_history, inst.actual_taken)
+                    self._recover(inst, inst.actual_next_pc, is_branch=True)
+
+    # ------------------------------------------------------------------
+    # Recovery: squash everything younger than ``pivot``.
+    # ------------------------------------------------------------------
+    def _recover(self, pivot: DynInst, redirect_pc: int, is_branch: bool) -> None:
+        squashed: List[DynInst] = []
+        while self.window and self.window[-1].seq > pivot.seq:
+            inst = self.window.pop()
+            self._undo(inst)
+            squashed.append(inst)
+        squashed.reverse()
+        self.hooks.on_recovery(pivot, squashed, is_branch)
+        self.fetch.redirect(redirect_pc, self.cycle)
+
+    def _undo(self, inst: DynInst) -> None:
+        """Roll back one instruction's functional and rename effects."""
+        inst.squashed = True
+        self.stats.squashed += 1
+        instr = inst.instr
+        if instr.is_store:
+            if inst.mem_old is MEM_ABSENT:
+                self.mem.pop(inst.eff_addr, None)
+            else:
+                self.mem[inst.eff_addr] = inst.mem_old
+            self._store_map_remove(inst)
+        if instr.is_mem:
+            self.lsq_count -= 1
+        if instr.writes_reg:
+            self.sregs[instr.rd] = inst.sreg_old
+            self.rename.restore_reg(inst.rename_undo)
+            if inst.reg_allocated:
+                self.freelist.release(1)
+
+    def _store_map_remove(self, inst: DynInst) -> None:
+        lst = self.store_map.get(inst.eff_addr)
+        if lst is not None:
+            try:
+                lst.remove(inst)
+            except ValueError:
+                pass
+            if not lst:
+                del self.store_map[inst.eff_addr]
+
+    # ------------------------------------------------------------------
+    # Issue.
+    # ------------------------------------------------------------------
+    def _issue(self, ports: PortState) -> int:
+        issued = 0
+        deferred: List[tuple] = []
+        cfg = self.cfg
+        while issued < cfg.issue_width and self.ready:
+            seq, inst = heapq.heappop(self.ready)
+            inst.in_ready = False
+            if inst.squashed or inst.issued:
+                continue
+            instr = inst.instr
+            fu = instr.fu_class
+            if instr.is_load and inst.forward_store is None:
+                line = self.hierarchy.line_of(inst.eff_addr)
+                if not ports.can_load(line) or self.fu.available(FUClass.MEM) <= 0:
+                    deferred.append((seq, inst))
+                    continue
+                self.fu.acquire(FUClass.MEM)
+                ports.do_load(line)
+                lat = self.hierarchy.load_latency(inst.eff_addr, self.cycle)
+                if lat > self.hierarchy.l1.hit_latency:
+                    self.stats.l1d_misses += 1
+            else:
+                if not self.fu.acquire(fu):
+                    deferred.append((seq, inst))
+                    continue
+                if instr.is_load:  # forwarded from an in-flight store
+                    self.stats.store_forwards += 1
+                    lat = 1
+                else:
+                    lat = FU_LATENCY[fu]
+            inst.issued = True
+            issued += 1
+            inst.done_cycle = self.cycle + lat
+            heapq.heappush(self.completion, (inst.done_cycle, inst.seq, inst))
+        for item in deferred:
+            item[1].in_ready = True
+            heapq.heappush(self.ready, item)
+        return cfg.issue_width - issued
+
+    # ------------------------------------------------------------------
+    # Dispatch: rename + functional execution.
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        cfg = self.cfg
+        if not self.hooks.dispatch_gate():
+            return
+        for _ in range(cfg.issue_width):
+            if len(self.window) >= cfg.window_size:
+                break
+            queue = self.fetch.queue
+            if not queue or queue[0][0] > self.cycle:
+                break
+            instr = queue[0][1].instr
+            if instr.is_mem and self.lsq_count >= cfg.lsq_size:
+                break
+            if instr.writes_reg and not self.freelist.alloc(1):
+                self.stats.rename_stall_cycles += 1
+                break
+            inst = self.fetch.pop_ready(self.cycle)
+            assert inst is not None
+            if instr.writes_reg:
+                inst.reg_allocated = True
+            self._execute_functional(inst)
+            self._rename_and_schedule(inst)
+            self.stats.dispatched += 1
+            self.window.append(inst)
+            self.hooks.on_dispatch(inst)
+            if inst.validated and not inst.issued:
+                # Replica reuse: skip execution.  The instruction may reach
+                # commit immediately (validation goes straight there,
+                # Section 2.4.6); consumers wait for the copy out of the
+                # speculative data memory, charged as extra latency.
+                lat = 1 + self.hooks.validated_extra_latency(inst)
+                inst.issued = True
+                inst.commit_ready_at = self.cycle + 1
+                inst.done_cycle = self.cycle + lat
+                heapq.heappush(self.completion,
+                               (inst.done_cycle, inst.seq, inst))
+
+    def _execute_functional(self, inst: DynInst) -> None:
+        instr = inst.instr
+        op = instr.op
+        sregs = self.sregs
+        if op in ALU_EVAL:
+            a = sregs[instr.rs1] if instr.rs1 is not None else 0
+            b = sregs[instr.rs2] if instr.rs2 is not None else 0
+            inst.sreg_old = sregs[instr.rd]
+            inst.result = ALU_EVAL[op](a, b, instr.imm)
+            sregs[instr.rd] = inst.result
+        elif op is Op.LD:
+            addr = (sregs[instr.rs1] + instr.imm) & MASK64
+            inst.eff_addr = addr
+            inst.sreg_old = sregs[instr.rd]
+            inst.result = self.mem.get(addr, 0)
+            sregs[instr.rd] = inst.result
+        elif op is Op.ST:
+            addr = (sregs[instr.rs1] + instr.imm) & MASK64
+            inst.eff_addr = addr
+            inst.mem_old = self.mem.get(addr, MEM_ABSENT)
+            inst.result = sregs[instr.rs2]
+            self.mem[addr] = inst.result
+        elif op in BRANCH_COND:
+            a = sregs[instr.rs1]
+            b = sregs[instr.rs2] if instr.rs2 is not None else 0
+            inst.actual_taken = BRANCH_COND[op](a, b)
+            inst.actual_next_pc = instr.target if inst.actual_taken else instr.pc + 1
+        elif op is Op.J:
+            inst.actual_next_pc = instr.target
+
+    def _rename_and_schedule(self, inst: DynInst) -> None:
+        instr = inst.instr
+        # Source dependencies through the rename table.
+        for r in instr.srcs:
+            owner = self.rename.owner[r]
+            if owner is not None and not owner.done and not owner.squashed:
+                inst.num_pending += 1
+                owner.consumers.append(inst)
+        # Memory dependence: forward from the youngest older in-flight
+        # store to the same address (perfect disambiguation, DESIGN.md §5).
+        if instr.is_load:
+            stores = self.store_map.get(inst.eff_addr)
+            if stores:
+                s = stores[-1]
+                inst.forward_store = s
+                if not s.done:
+                    inst.num_pending += 1
+                    s.consumers.append(inst)
+        elif instr.is_store:
+            self.store_map.setdefault(inst.eff_addr, []).append(inst)
+        if instr.is_mem:
+            self.lsq_count += 1
+        # Destination rename, with default stridedPC propagation (ALU ops
+        # merge their sources'; the mechanism hook refines loads).
+        if instr.writes_reg:
+            spcs = ()
+            if not instr.is_load and instr.srcs:
+                spcs = self.rename.merge_strided(instr.srcs)
+            inst.rename_undo = self.rename.snapshot_reg(instr.rd)
+            self.rename.write(instr.rd, inst, None, spcs)
+        inst.dispatch_cycle = self.cycle
+        # Schedule.
+        op = instr.op
+        if op is Op.NOP or op is Op.HALT or op is Op.J:
+            inst.issued = True
+            inst.done_cycle = self.cycle + 1
+            heapq.heappush(self.completion, (inst.done_cycle, inst.seq, inst))
+        elif inst.num_pending == 0:
+            inst.in_ready = True
+            heapq.heappush(self.ready, (inst.seq, inst))
+
+
+def simulate(program: Program, cfg: Optional[ProcessorConfig] = None,
+             hooks: Optional[Hooks] = None,
+             max_instructions: Optional[int] = None) -> SimStats:
+    """Convenience wrapper: build a core, run it, return the statistics."""
+    core = Core(cfg or ProcessorConfig(), program, hooks)
+    return core.run(max_instructions=max_instructions)

@@ -1,0 +1,95 @@
+"""Fetch unit: 8-wide, at most one predicted-taken branch per cycle."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..isa import Program
+from .bpred import Gshare
+from .config import ProcessorConfig
+from .rob import DynInst
+
+
+class FetchUnit:
+    """Fetches down the *predicted* path into a fetch queue.
+
+    Entries carry a ``ready_at`` cycle modelling the decode/rename depth;
+    dispatch consumes them once ready.  A misprediction recovery flushes
+    the queue and redirects the PC (effective the following cycle).
+    """
+
+    def __init__(self, cfg: ProcessorConfig, program: Program, bpred: Gshare):
+        self.cfg = cfg
+        self.program = program
+        self.bpred = bpred
+        self.pc = 0
+        self.queue: Deque[Tuple[int, DynInst]] = deque()  # (ready_at, inst)
+        self.stalled = False      # ran past code / fetched HALT
+        self._redirect_at: Optional[int] = None
+        self._redirect_pc: int = 0
+        self.next_seq = 0
+
+    def redirect(self, pc: int, cycle: int) -> None:
+        """Squash the queue and restart fetching at ``pc`` next cycle."""
+        self.queue.clear()
+        self._redirect_at = cycle + 1
+        self._redirect_pc = pc
+        self.stalled = True
+
+    def fetch_cycle(self, cycle: int) -> int:
+        """Fetch up to ``fetch_width`` instructions; returns the count."""
+        if self._redirect_at is not None:
+            if cycle < self._redirect_at:
+                return 0
+            self.pc = self._redirect_pc
+            self._redirect_at = None
+            self.stalled = False
+        if self.stalled:
+            return 0
+        code = self.program.code
+        fetched = 0
+        taken_seen = 0
+        room = self.cfg.fetch_queue_size - len(self.queue)
+        limit = min(self.cfg.fetch_width, room)
+        ready_at = cycle + self.cfg.frontend_depth
+        while fetched < limit:
+            if not (0 <= self.pc < len(code)):
+                self.stalled = True
+                break
+            instr = code[self.pc]
+            di = DynInst(self.next_seq, instr)
+            self.next_seq += 1
+            next_pc = self.pc + 1
+            if instr.is_cond_branch:
+                di.bp_history = self.bpred.checkpoint()
+                di.pred_taken = self.bpred.predict(
+                    self.pc, backward=instr.is_backward_branch)
+                self.bpred.speculate(di.pred_taken)
+                if di.pred_taken:
+                    next_pc = instr.target
+                    taken_seen += 1
+                di.pred_next_pc = next_pc
+            elif instr.is_jump:
+                next_pc = instr.target
+                di.pred_next_pc = next_pc
+                taken_seen += 1
+            self.queue.append((ready_at, di))
+            fetched += 1
+            self.pc = next_pc
+            if instr.is_halt:
+                self.stalled = True
+                break
+            if taken_seen >= self.cfg.max_taken_per_fetch:
+                break
+        return fetched
+
+    def pop_ready(self, cycle: int) -> Optional[DynInst]:
+        """Take the oldest fetched instruction that has finished decode."""
+        if self.queue and self.queue[0][0] <= cycle:
+            return self.queue.popleft()[1]
+        return None
+
+    @property
+    def empty(self) -> bool:
+        return not self.queue and self.stalled and self._redirect_at is None

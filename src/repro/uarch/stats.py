@@ -1,0 +1,131 @@
+"""Simulation statistics — one counter per number the paper reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    """Counters gathered by one timing-simulation run."""
+
+    # Progress.
+    cycles: int = 0
+    fetched: int = 0
+    dispatched: int = 0
+    committed: int = 0
+    #: committed instructions whose execution was skipped thanks to a
+    #: validated replica (the "Reuse" portion of Figure 12)
+    committed_reused: int = 0
+    #: dispatched instructions later squashed by branch mispredictions
+    #: (the "specBP" portion of Figure 12)
+    squashed: int = 0
+
+    # Branches.
+    cond_branches: int = 0                # committed conditional branches
+    mispredicts: int = 0                  # committed-path mispredictions
+    mispredicts_hard: int = 0             # ... of MBS-hard branches
+
+    # Control-independence accounting (Figure 5).
+    ci_events: int = 0                    # hard mispredictions examined
+    ci_selected: int = 0                  # ... with >=1 CI instruction found
+    ci_reused: int = 0                    # ... with >=1 successful reuse
+
+    # Replicas (the "specCI" portion of Figure 12).
+    replicas_created: int = 0
+    replicas_executed: int = 0
+    replica_validations: int = 0
+    replica_validation_failures: int = 0
+    replica_batches: int = 0
+    srsmt_alloc_failures: int = 0
+    copy_uops: int = 0
+
+    # Memory system.
+    l1d_accesses: int = 0                 # Figure 8
+    l1d_load_accesses: int = 0
+    l1d_store_accesses: int = 0
+    l1d_replica_accesses: int = 0
+    l1d_misses: int = 0
+    store_forwards: int = 0
+    coherence_squashes: int = 0           # Section 2.4.3 conflicts
+    stores_committed: int = 0
+
+    # Register file pressure (Section 2.4.2).
+    regs_in_use_samples: int = 0
+    regs_in_use_sum: int = 0
+    regs_in_use_peak: int = 0
+    rename_stall_cycles: int = 0
+
+    # Strided-PC propagation (Figure 4 / in-text 1.7 average).
+    stridedpc_assignments: int = 0
+    stridedpc_sum: int = 0
+    stridedpc_overflow: int = 0
+
+    # Speculative data memory.
+    spec_mem_alloc_failures: int = 0
+
+    #: IPC timeline: committed-instruction count sampled every
+    #: ``interval_cycles`` cycles (shows predictor/mechanism warm-up)
+    interval_cycles: int = 256
+    interval_committed: list = field(default_factory=list)
+
+    def record_interval(self) -> None:
+        self.interval_committed.append(self.committed)
+
+    @property
+    def interval_ipc(self) -> list:
+        """Per-interval IPC series derived from the committed samples."""
+        out = []
+        prev = 0
+        for c in self.interval_committed:
+            out.append((c - prev) / self.interval_cycles)
+            prev = c
+        return out
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.cond_branches if self.cond_branches else 0.0
+
+    @property
+    def avg_regs_in_use(self) -> float:
+        if not self.regs_in_use_samples:
+            return 0.0
+        return self.regs_in_use_sum / self.regs_in_use_samples
+
+    @property
+    def avg_stridedpcs(self) -> float:
+        if not self.stridedpc_assignments:
+            return 0.0
+        return self.stridedpc_sum / self.stridedpc_assignments
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Fraction of committed instructions that reused a replica."""
+        return self.committed_reused / self.committed if self.committed else 0.0
+
+    @property
+    def wrong_spec_activity(self) -> float:
+        """Wrongly speculated work / total executed (in-text comparison)."""
+        wasted = self.squashed + (self.replicas_executed - self.replica_validations)
+        total = self.committed + self.squashed + self.replicas_executed
+        return wasted / total if total else 0.0
+
+    def record_reg_usage(self, in_use: int) -> None:
+        self.regs_in_use_samples += 1
+        self.regs_in_use_sum += in_use
+        if in_use > self.regs_in_use_peak:
+            self.regs_in_use_peak = in_use
+
+    def as_dict(self) -> Dict[str, float]:
+        d = {k: v for k, v in self.__dict__.items()}
+        d["ipc"] = self.ipc
+        d["mispredict_rate"] = self.mispredict_rate
+        d["avg_regs_in_use"] = self.avg_regs_in_use
+        d["avg_stridedpcs"] = self.avg_stridedpcs
+        d["reuse_fraction"] = self.reuse_fraction
+        return d

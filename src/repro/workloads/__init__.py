@@ -1,0 +1,21 @@
+"""Synthetic SpecInt2000-like workload suite."""
+
+from .suite import (
+    BY_NAME,
+    SUITE,
+    KernelSpec,
+    build_program,
+    build_suite,
+    get_kernel,
+    kernel_names,
+)
+
+__all__ = [
+    "BY_NAME",
+    "KernelSpec",
+    "SUITE",
+    "build_program",
+    "build_suite",
+    "get_kernel",
+    "kernel_names",
+]

@@ -1,0 +1,81 @@
+"""Helpers for emitting the synthetic kernels' assembly and data.
+
+Every kernel is an assembly template plus seeded pseudo-random data.  The
+helpers here generate the data sections and a few recurring code shapes.
+
+Register conventions shared by the kernels (documented, not enforced):
+
+====  =======================================================
+r0    most recently loaded value (the hammock discriminant)
+r1    inner loop index
+r2-r7 hammock-path counters and control-independent accumulators
+r8+   array base pointers
+r20+  scratch
+r30   outer-iteration counter
+r31   inner loop bound
+====  =======================================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence
+
+
+def rng_for(name: str, seed: int) -> random.Random:
+    """A deterministic per-kernel random stream."""
+    return random.Random(f"{name}:{seed}")
+
+
+def data_words(label: str, values: Sequence[int]) -> str:
+    """Emit a ``.dataw`` directive for ``values``."""
+    body = " ".join(str(int(v)) for v in values)
+    return f".dataw {label} {body}"
+
+
+def data_zeros(label: str, count: int) -> str:
+    return f".data {label} {count}"
+
+
+def random_words(rng: random.Random, n: int, lo: int, hi: int) -> List[int]:
+    """``n`` uniform values in [lo, hi]."""
+    return [rng.randint(lo, hi) for _ in range(n)]
+
+
+def biased_bits(rng: random.Random, n: int, p_one: float) -> List[int]:
+    """``n`` 0/1 values with P(1) = ``p_one`` (controls branch bias)."""
+    return [1 if rng.random() < p_one else 0 for _ in range(n)]
+
+
+def permutation_chain(rng: random.Random, n: int, word: int = 8) -> List[int]:
+    """Next-pointer array encoding one random cycle over ``n`` slots.
+
+    ``chain[i]`` holds the *byte offset* of the successor slot, so a
+    pointer-chasing loop ``ptr <- base + MEM[ptr]`` visits every slot once
+    per lap in a data-dependent, non-strided order (mcf-like behaviour).
+    """
+    order = list(range(1, n))
+    rng.shuffle(order)
+    order = [0] + order
+    chain = [0] * n
+    for pos in range(n):
+        cur = order[pos]
+        nxt = order[(pos + 1) % n]
+        chain[cur] = nxt * word
+    return chain
+
+
+def scaled(base: int, scale: float, minimum: int = 4) -> int:
+    """Scale an iteration/element count, keeping it at least ``minimum``."""
+    return max(minimum, int(round(base * scale)))
+
+
+def join_sections(*sections: Iterable[str] | str) -> str:
+    """Join data and code fragments into one assembly source."""
+    parts: List[str] = []
+    for s in sections:
+        if isinstance(s, str):
+            parts.append(s)
+        else:
+            parts.extend(s)
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,1004 @@
+"""The 12 SpecInt2000-like synthetic kernels.
+
+Each kernel is named after the SpecInt2000 program whose *relevant traits*
+it reproduces (branch predictability, hammock density, load stride
+behaviour) — see DESIGN.md §2 for the substitution rationale.  Each comes
+with a pure-Python reference model returning the expected final register
+values, used by the test suite to pin functional correctness.
+
+Common shapes:
+
+* **if-then-else hammock** — forward branch to the else part, with an
+  unconditional forward jump right above the else label (the shape the
+  paper's re-convergence heuristic recognises, Figure 2c),
+* **if-then** — forward branch over the then body (Figure 2b),
+* **loop-closing backward branch** (Figure 2a),
+* a *drifting threshold* (``r29``-style) where needed so branch outcomes
+  do not repeat across laps (a 64K-entry gshare would otherwise memorise
+  short synthetic traces, which 100M-instruction SPEC runs do not allow).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..isa.opcodes import MASK64
+from .builders import (
+    biased_bits,
+    data_words,
+    data_zeros,
+    join_sections,
+    permutation_chain,
+    random_words,
+    rng_for,
+    scaled,
+)
+
+WORD = 8
+
+
+# ---------------------------------------------------------------------------
+# bzip2 — byte-frequency pass: threshold hammock + prefix-sum store-out.
+# ---------------------------------------------------------------------------
+
+def build_bzip2(scale: float = 1.0, seed: int = 1) -> str:
+    n, laps = scaled(384, scale), 3
+    rng = rng_for("bzip2", seed)
+    vals = random_words(rng, n, 0, 255)
+    wts = random_words(rng, 4 * n, 0, 15)
+    return join_sections(
+        data_words("src", vals),
+        data_words("wt", wts),
+        data_zeros("out", n),
+        f"""
+    la   r8, src
+    la   r11, wt
+    la   r10, out
+    li   r28, {laps}
+    li   r31, {n}
+    li   r29, 77
+    li   r2, 0
+    li   r3, 0
+    li   r4, 0
+    li   r30, 0
+lap:
+    li   r1, 0
+    mov  r20, r8
+    mov  r21, r10
+    mov  r25, r11
+loop:
+    ld   r0, 0(r20)
+    ld   r23, 0(r25)
+    ld   r32, 8(r25)
+    ld   r33, 16(r25)
+    ld   r34, 24(r25)
+    blt  r0, r29, below
+    addi r3, r3, 1
+    j    ip
+below:
+    addi r2, r2, 1
+ip: add  r4, r4, r0
+    add  r4, r4, r23
+    add  r4, r4, r32
+    add  r4, r4, r33
+    add  r4, r4, r34
+    ld   r22, 0(r21)
+    add  r22, r22, r4
+    st   r22, 0(r21)
+    addi r20, r20, 8
+    addi r21, r21, 8
+    addi r25, r25, 32
+    addi r1, r1, 1
+    blt  r1, r31, loop
+    addi r29, r29, 37
+    andi r29, r29, 255
+    addi r30, r30, 1
+    blt  r30, r28, lap
+    halt
+""")
+
+
+def ref_bzip2(scale: float = 1.0, seed: int = 1) -> Dict[int, int]:
+    n, laps = scaled(384, scale), 3
+    rng = rng_for("bzip2", seed)
+    vals = random_words(rng, n, 0, 255)
+    wts = random_words(rng, 4 * n, 0, 15)
+    thr, below, above, acc = 77, 0, 0, 0
+    out = [0] * n
+    for _ in range(laps):
+        for i, v in enumerate(vals):
+            if v < thr:
+                below += 1
+            else:
+                above += 1
+            acc += v + sum(wts[4 * i: 4 * i + 4])
+            out[i] = (out[i] + acc) & MASK64
+        thr = (thr + 37) & 255
+    return {2: below, 3: above, 4: acc & MASK64}
+
+
+# ---------------------------------------------------------------------------
+# crafty — bitboard bit tests; data evolves in place each lap.
+# ---------------------------------------------------------------------------
+
+def build_crafty(scale: float = 1.0, seed: int = 1) -> str:
+    n, laps = scaled(320, scale), 3
+    rng = rng_for("crafty", seed)
+    vals = random_words(rng, n, 0, (1 << 32) - 1)
+    atk = random_words(rng, 4 * n, 0, (1 << 32) - 1)
+    return join_sections(
+        data_words("bb", vals),
+        data_words("atk", atk),
+        f"""
+    la   r8, bb
+    la   r9, atk
+    li   r28, {laps}
+    li   r31, {n}
+    li   r2, 0
+    li   r3, 0
+    li   r4, 0
+    li   r5, 0
+    li   r30, 0
+lap:
+    li   r1, 0
+    mov  r20, r8
+    mov  r21, r9
+loop:
+    ld   r0, 0(r20)
+    ld   r26, 0(r21)
+    ld   r32, 8(r21)
+    ld   r33, 16(r21)
+    ld   r34, 24(r21)
+    andi r22, r1, 7
+    srl  r23, r0, r22
+    andi r23, r23, 1
+    beqz r23, clear
+    addi r2, r2, 1
+    xor  r4, r4, r0
+    j    ip
+clear:
+    addi r3, r3, 1
+ip: srli r24, r0, 1
+    xor  r24, r24, r0
+    and  r25, r24, r26
+    add  r5, r5, r25
+    add  r5, r5, r32
+    add  r5, r5, r33
+    add  r5, r5, r34
+    st   r24, 0(r20)
+    addi r20, r20, 8
+    addi r21, r21, 32
+    addi r1, r1, 1
+    blt  r1, r31, loop
+    addi r30, r30, 1
+    blt  r30, r28, lap
+    halt
+""")
+
+
+def ref_crafty(scale: float = 1.0, seed: int = 1) -> Dict[int, int]:
+    n, laps = scaled(320, scale), 3
+    rng = rng_for("crafty", seed)
+    vals = random_words(rng, n, 0, (1 << 32) - 1)
+    atk = random_words(rng, 4 * n, 0, (1 << 32) - 1)
+    mem = list(vals)
+    set_c = clear_c = 0
+    x4 = a5 = 0
+    for _ in range(laps):
+        for i in range(n):
+            v = mem[i]
+            if (v >> (i & 7)) & 1:
+                set_c += 1
+                x4 ^= v
+            else:
+                clear_c += 1
+            g = (v >> 1) ^ v
+            a5 = (a5 + (g & atk[4 * i]) + atk[4 * i + 1]
+                  + atk[4 * i + 2] + atk[4 * i + 3]) & MASK64
+            mem[i] = g
+    return {2: set_c, 3: clear_c, 4: x4, 5: a5}
+
+
+# ---------------------------------------------------------------------------
+# eon — arithmetic-heavy with *highly biased* (easy) branches.
+# ---------------------------------------------------------------------------
+
+def build_eon(scale: float = 1.0, seed: int = 1) -> str:
+    n, laps = scaled(384, scale), 4
+    rng = rng_for("eon", seed)
+    vals = random_words(rng, n, 0, 255)
+    shade = random_words(rng, n, 0, 63)
+    return join_sections(
+        data_words("pix", vals),
+        data_words("shade", shade),
+        f"""
+    la   r8, pix
+    la   r9, shade
+    li   r28, {laps}
+    li   r31, {n}
+    li   r27, 8
+    li   r2, 0
+    li   r4, 0
+    li   r6, 0
+    li   r30, 0
+lap:
+    li   r1, 0
+    mov  r20, r8
+    mov  r21, r9
+loop:
+    ld   r0, 0(r20)
+    ld   r25, 0(r21)
+    blt  r0, r27, rare
+    itof r22, r0
+    fmul r23, r22, r22
+    fadd r6, r6, r23
+    j    ip
+rare:
+    addi r2, r2, 1
+ip: add  r4, r4, r0
+    add  r4, r4, r25
+    addi r20, r20, 8
+    addi r21, r21, 8
+    addi r1, r1, 1
+    blt  r1, r31, loop
+    addi r30, r30, 1
+    blt  r30, r28, lap
+    halt
+""")
+
+
+def ref_eon(scale: float = 1.0, seed: int = 1) -> Dict[int, int]:
+    n, laps = scaled(384, scale), 4
+    rng = rng_for("eon", seed)
+    vals = random_words(rng, n, 0, 255)
+    shade = random_words(rng, n, 0, 63)
+    rare = 0
+    acc = 0
+    facc = 0.0
+    for _ in range(laps):
+        for i, v in enumerate(vals):
+            if v < 8:
+                rare += 1
+            else:
+                fv = float(v)
+                facc = facc + fv * fv
+            acc += v + shade[i]
+    return {2: rare, 4: acc & MASK64, 6: facc}
+
+
+# ---------------------------------------------------------------------------
+# gap — permutation walk: strided perm load + indirect value load.
+# ---------------------------------------------------------------------------
+
+def build_gap(scale: float = 1.0, seed: int = 1) -> str:
+    n, laps = scaled(384, scale), 3
+    rng = rng_for("gap", seed)
+    perm = list(range(n))
+    rng.shuffle(perm)
+    perm_off = [p * WORD for p in perm]
+    vals = random_words(rng, n, 0, 255)
+    wts = random_words(rng, 4 * n, 0, 31)
+    return join_sections(
+        data_words("perm", perm_off),
+        data_words("val", vals),
+        data_words("gwt", wts),
+        f"""
+    la   r8, perm
+    la   r9, val
+    la   r11, gwt
+    li   r28, {laps}
+    li   r31, {n}
+    li   r29, 90
+    li   r2, 0
+    li   r3, 0
+    li   r4, 0
+    li   r5, 0
+    li   r30, 0
+lap:
+    li   r1, 0
+    mov  r20, r8
+    mov  r25, r11
+loop:
+    ld   r0, 0(r20)
+    ld   r24, 0(r25)
+    ld   r32, 8(r25)
+    ld   r33, 16(r25)
+    ld   r34, 24(r25)
+    add  r21, r9, r0
+    ld   r22, 0(r21)
+    blt  r22, r29, lows
+    addi r3, r3, 1
+    j    ip
+lows:
+    addi r2, r2, 1
+ip: add  r4, r4, r0
+    add  r4, r4, r24
+    add  r4, r4, r32
+    add  r4, r4, r33
+    add  r4, r4, r34
+    add  r5, r5, r22
+    addi r20, r20, 8
+    addi r25, r25, 32
+    addi r1, r1, 1
+    blt  r1, r31, loop
+    addi r29, r29, 53
+    andi r29, r29, 255
+    addi r30, r30, 1
+    blt  r30, r28, lap
+    halt
+""")
+
+
+def ref_gap(scale: float = 1.0, seed: int = 1) -> Dict[int, int]:
+    n, laps = scaled(384, scale), 3
+    rng = rng_for("gap", seed)
+    perm = list(range(n))
+    rng.shuffle(perm)
+    perm_off = [p * WORD for p in perm]
+    vals = random_words(rng, n, 0, 255)
+    wts = random_words(rng, 4 * n, 0, 31)
+    thr, lo, hi, a4, a5 = 90, 0, 0, 0, 0
+    for _ in range(laps):
+        for i, off in enumerate(perm_off):
+            v = vals[off // WORD]
+            if v < thr:
+                lo += 1
+            else:
+                hi += 1
+            a4 += off + sum(wts[4 * i: 4 * i + 4])
+            a5 += v
+        thr = (thr + 53) & 255
+    return {2: lo, 3: hi, 4: a4 & MASK64, 5: a5 & MASK64}
+
+
+# ---------------------------------------------------------------------------
+# gcc — branch-dense: two hammocks and an if-then per iteration.
+# ---------------------------------------------------------------------------
+
+def build_gcc(scale: float = 1.0, seed: int = 1) -> str:
+    n, laps = scaled(320, scale), 3
+    rng = rng_for("gcc", seed)
+    vals = random_words(rng, n, 0, 255)
+    tbl = random_words(rng, 4 * n, 0, 127)
+    return join_sections(
+        data_words("code", vals),
+        data_words("tbl", tbl),
+        f"""
+    la   r8, code
+    la   r11, tbl
+    li   r28, {laps}
+    li   r31, {n}
+    li   r29, 101
+    li   r2, 0
+    li   r3, 0
+    li   r4, 0
+    li   r5, 0
+    li   r6, 0
+    li   r30, 0
+lap:
+    li   r1, 0
+    mov  r20, r8
+    mov  r25, r11
+loop:
+    ld   r0, 0(r20)
+    ld   r24, 0(r25)
+    ld   r32, 8(r25)
+    ld   r33, 16(r25)
+    ld   r34, 24(r25)
+    andi r22, r0, 3
+    beqz r22, case0
+    addi r2, r2, 1
+    j    h1
+case0:
+    addi r3, r3, 1
+h1: andi r23, r0, 16
+    beqz r23, skip1
+    xor  r4, r4, r0
+skip1:
+    blt  r0, r29, low2
+    addi r5, r5, 2
+    j    ip
+low2:
+    addi r5, r5, 1
+ip: add  r6, r6, r0
+    add  r6, r6, r24
+    add  r6, r6, r32
+    add  r6, r6, r33
+    add  r6, r6, r34
+    addi r20, r20, 8
+    addi r25, r25, 32
+    addi r1, r1, 1
+    blt  r1, r31, loop
+    addi r29, r29, 29
+    andi r29, r29, 255
+    addi r30, r30, 1
+    blt  r30, r28, lap
+    halt
+""")
+
+
+def ref_gcc(scale: float = 1.0, seed: int = 1) -> Dict[int, int]:
+    n, laps = scaled(320, scale), 3
+    rng = rng_for("gcc", seed)
+    vals = random_words(rng, n, 0, 255)
+    tbl = random_words(rng, 4 * n, 0, 127)
+    thr = 101
+    c2 = c3 = x4 = c5 = a6 = 0
+    for _ in range(laps):
+        for i, v in enumerate(vals):
+            if v & 3:
+                c2 += 1
+            else:
+                c3 += 1
+            if v & 16:
+                x4 ^= v
+            c5 += 2 if v >= thr else 1
+            a6 += v + sum(tbl[4 * i: 4 * i + 4])
+        thr = (thr + 29) & 255
+    return {2: c2, 3: c3, 4: x4, 5: c5, 6: a6 & MASK64}
+
+
+# ---------------------------------------------------------------------------
+# gzip — LZ-style match loop with data-dependent trip count.
+# ---------------------------------------------------------------------------
+
+def build_gzip(scale: float = 1.0, seed: int = 1) -> str:
+    n, laps = scaled(512, scale), 2
+    rng = rng_for("gzip", seed)
+    # Small alphabet => geometric match lengths (P(match) = 1/4 per symbol).
+    s1 = random_words(rng, 3 * n, 0, 3)
+    s2 = random_words(rng, 3 * n, 0, 3)
+    huff = random_words(rng, 2 * n, 0, 31)
+    return join_sections(
+        data_words("s1", s1),
+        # Guard gap: an overrunning s1 stream reads zeros, never s2's data,
+        # matching the reference model's out-of-range-reads-zero semantics.
+        data_zeros("pad1", 64),
+        data_words("s2", s2),
+        data_zeros("pad2", 64),
+        data_words("huff", huff),
+        f"""
+    la   r8, s1
+    la   r9, s2
+    la   r12, huff
+    li   r28, {laps}
+    li   r31, {n}
+    li   r27, 8
+    li   r2, 0
+    li   r3, 0
+    li   r4, 0
+    li   r30, 0
+lap:
+    li   r1, 0
+    mov  r20, r8
+    mov  r21, r9
+    mov  r35, r12
+loop:
+    li   r22, 0
+match:
+    ld   r23, 0(r20)
+    ld   r24, 0(r21)
+    bne  r23, r24, mdone
+    addi r22, r22, 1
+    addi r20, r20, 8
+    addi r21, r21, 8
+    blt  r22, r27, match
+mdone:
+    slti r25, r22, 3
+    beqz r25, bigmatch
+    addi r2, r2, 1
+    j    ip
+bigmatch:
+    addi r3, r3, 1
+ip: add  r4, r4, r22
+    ld   r32, 0(r35)
+    ld   r33, 8(r35)
+    add  r4, r4, r32
+    add  r4, r4, r33
+    addi r35, r35, 16
+    addi r20, r20, 8
+    addi r21, r21, 8
+    addi r1, r1, 1
+    blt  r1, r31, loop
+    addi r30, r30, 1
+    blt  r30, r28, lap
+    halt
+""")
+
+
+def ref_gzip(scale: float = 1.0, seed: int = 1) -> Dict[int, int]:
+    n, laps = scaled(512, scale), 2
+    rng = rng_for("gzip", seed)
+    s1 = random_words(rng, 3 * n, 0, 3)
+    s2 = random_words(rng, 3 * n, 0, 3)
+    huff = random_words(rng, 2 * n, 0, 31)
+
+    def rd(stream: List[int], idx: int) -> int:
+        return stream[idx] if 0 <= idx < len(stream) else 0
+
+    lits = matches = total = 0
+    for _ in range(laps):
+        i = j = 0
+        for outer in range(n):
+            k = 0
+            while rd(s1, i) == rd(s2, j) and k < 8:
+                k += 1
+                i += 1
+                j += 1
+            if k < 3:
+                lits += 1
+            else:
+                matches += 1
+            total += k + huff[2 * outer] + huff[2 * outer + 1]
+            i += 1
+            j += 1
+    return {2: lits, 3: matches, 4: total}
+
+
+# ---------------------------------------------------------------------------
+# mcf — pointer chasing: loads are control-independent but NOT strided.
+# ---------------------------------------------------------------------------
+
+def build_mcf(scale: float = 1.0, seed: int = 1) -> str:
+    n = scaled(256, scale)
+    iters = 4 * n
+    rng = rng_for("mcf", seed)
+    nxt = permutation_chain(rng, n, word=WORD)
+    cost = random_words(rng, n, 0, 255)
+    aud = random_words(rng, iters, 0, 31)
+    return join_sections(
+        data_words("nxt", nxt),
+        data_words("cost", cost),
+        data_words("aud", aud),
+        f"""
+    la   r8, nxt
+    la   r9, cost
+    la   r25, aud
+    li   r31, {iters}
+    li   r29, 128
+    li   r1, 0
+    li   r2, 0
+    li   r3, 0
+    li   r4, 0
+    li   r20, 0
+loop:
+    add  r21, r8, r20
+    ld   r22, 0(r21)
+    add  r23, r9, r20
+    ld   r0, 0(r23)
+    ld   r24, 0(r25)
+    blt  r0, r29, cheap
+    addi r3, r3, 1
+    j    ip
+cheap:
+    addi r2, r2, 1
+ip: add  r4, r4, r0
+    add  r4, r4, r24
+    mov  r20, r22
+    addi r25, r25, 8
+    addi r29, r29, 1
+    andi r29, r29, 255
+    addi r1, r1, 1
+    blt  r1, r31, loop
+    halt
+""")
+
+
+def ref_mcf(scale: float = 1.0, seed: int = 1) -> Dict[int, int]:
+    n = scaled(256, scale)
+    iters = 4 * n
+    rng = rng_for("mcf", seed)
+    nxt = permutation_chain(rng, n, word=WORD)
+    cost = random_words(rng, n, 0, 255)
+    aud = random_words(rng, iters, 0, 31)
+    thr, cheap, costly, acc, ptr = 128, 0, 0, 0, 0
+    for k in range(iters):
+        slot = ptr // WORD
+        c = cost[slot]
+        if c < thr:
+            cheap += 1
+        else:
+            costly += 1
+        acc += c + aud[k]
+        ptr = nxt[slot]
+        thr = (thr + 1) & 255
+    return {2: cheap, 3: costly, 4: acc & MASK64}
+
+
+# ---------------------------------------------------------------------------
+# parser — nested character classification (hammock inside a hammock arm).
+# ---------------------------------------------------------------------------
+
+def build_parser(scale: float = 1.0, seed: int = 1) -> str:
+    n, laps = scaled(448, scale), 3
+    rng = rng_for("parser", seed)
+    vals = random_words(rng, n, 0, 127)
+    dic = random_words(rng, 4 * n, 0, 63)
+    return join_sections(
+        data_words("txt", vals),
+        data_words("dict", dic),
+        data_zeros("toks", n),
+        f"""
+    la   r8, txt
+    la   r11, dict
+    la   r10, toks
+    li   r28, {laps}
+    li   r31, {n}
+    li   r2, 0
+    li   r4, 0
+    li   r30, 0
+lap:
+    li   r1, 0
+    mov  r20, r8
+    mov  r21, r10
+    mov  r25, r11
+loop:
+    ld   r0, 0(r20)
+    ld   r26, 0(r25)
+    ld   r32, 8(r25)
+    ld   r33, 16(r25)
+    ld   r34, 24(r25)
+    slti r22, r0, 32
+    bnez r22, ctl
+    slti r23, r0, 97
+    bnez r23, upper
+    li   r24, 2
+    j    join2
+upper:
+    li   r24, 1
+join2:
+    j    ip
+ctl:
+    li   r24, 0
+    addi r2, r2, 1
+ip: st   r24, 0(r21)
+    add  r4, r4, r0
+    add  r4, r4, r26
+    add  r4, r4, r32
+    add  r4, r4, r33
+    add  r4, r4, r34
+    addi r20, r20, 8
+    addi r21, r21, 8
+    addi r25, r25, 32
+    addi r1, r1, 1
+    blt  r1, r31, loop
+    addi r30, r30, 1
+    blt  r30, r28, lap
+    halt
+""")
+
+
+def ref_parser(scale: float = 1.0, seed: int = 1) -> Dict[int, int]:
+    n, laps = scaled(448, scale), 3
+    rng = rng_for("parser", seed)
+    vals = random_words(rng, n, 0, 127)
+    dic = random_words(rng, 4 * n, 0, 63)
+    ctl = acc = 0
+    for _ in range(laps):
+        for i, v in enumerate(vals):
+            if v < 32:
+                ctl += 1
+            acc += v + sum(dic[4 * i: 4 * i + 4])
+    return {2: ctl, 4: acc & MASK64}
+
+
+# ---------------------------------------------------------------------------
+# perlbmk — multiplicative hash chain; branch on evolving hash bit.
+# ---------------------------------------------------------------------------
+
+def build_perlbmk(scale: float = 1.0, seed: int = 1) -> str:
+    n, laps = scaled(384, scale), 3
+    rng = rng_for("perlbmk", seed)
+    vals = random_words(rng, n, 0, 65535)
+    salts = random_words(rng, 4 * n, 0, 255)
+    return join_sections(
+        data_words("keys", vals),
+        data_words("salts", salts),
+        data_zeros("htab", n),
+        f"""
+    la   r8, keys
+    la   r9, salts
+    la   r10, htab
+    li   r28, {laps}
+    li   r31, {n}
+    li   r5, 5381
+    li   r2, 0
+    li   r3, 0
+    li   r4, 0
+    li   r30, 0
+lap:
+    li   r1, 0
+    mov  r20, r8
+    mov  r21, r10
+    mov  r25, r9
+loop:
+    ld   r0, 0(r20)
+    ld   r26, 0(r25)
+    ld   r32, 8(r25)
+    ld   r33, 16(r25)
+    ld   r34, 24(r25)
+    muli r22, r5, 31
+    xor  r5, r22, r0
+    andi r23, r5, 16
+    beqz r23, even
+    addi r2, r2, 1
+    j    ip
+even:
+    addi r3, r3, 1
+ip: st   r5, 0(r21)
+    add  r4, r4, r0
+    add  r4, r4, r26
+    add  r4, r4, r32
+    add  r4, r4, r33
+    add  r4, r4, r34
+    addi r20, r20, 8
+    addi r21, r21, 8
+    addi r25, r25, 32
+    addi r1, r1, 1
+    blt  r1, r31, loop
+    addi r30, r30, 1
+    blt  r30, r28, lap
+    halt
+""")
+
+
+def ref_perlbmk(scale: float = 1.0, seed: int = 1) -> Dict[int, int]:
+    n, laps = scaled(384, scale), 3
+    rng = rng_for("perlbmk", seed)
+    vals = random_words(rng, n, 0, 65535)
+    salts = random_words(rng, 4 * n, 0, 255)
+    h, odd, even, acc = 5381, 0, 0, 0
+    for _ in range(laps):
+        for i, v in enumerate(vals):
+            h = ((h * 31) & MASK64) ^ v
+            if h & 16:
+                odd += 1
+            else:
+                even += 1
+            acc += v + sum(salts[4 * i: 4 * i + 4])
+    return {2: odd, 3: even, 4: acc & MASK64, 5: h}
+
+
+# ---------------------------------------------------------------------------
+# twolf — annealing accept/reject against an evolving incumbent.
+# ---------------------------------------------------------------------------
+
+def build_twolf(scale: float = 1.0, seed: int = 1) -> str:
+    n, laps = scaled(384, scale), 3
+    rng = rng_for("twolf", seed)
+    vals = random_words(rng, n, 0, 1023)
+    gain = random_words(rng, 4 * n, 0, 63)
+    return join_sections(
+        data_words("cost", vals),
+        data_words("gain", gain),
+        f"""
+    la   r8, cost
+    la   r9, gain
+    li   r28, {laps}
+    li   r31, {n}
+    li   r5, 500
+    li   r26, 16
+    li   r2, 0
+    li   r3, 0
+    li   r4, 0
+    li   r6, 0
+    li   r30, 0
+lap:
+    li   r1, 0
+    mov  r20, r8
+    mov  r25, r9
+loop:
+    ld   r0, 0(r20)
+    ld   r24, 0(r25)
+    ld   r32, 8(r25)
+    ld   r33, 16(r25)
+    ld   r34, 24(r25)
+    sub  r22, r0, r5
+    blt  r22, r26, accept
+    addi r3, r3, 1
+    j    ip
+accept:
+    addi r2, r2, 1
+    mov  r5, r0
+ip: add  r4, r4, r0
+    add  r4, r4, r24
+    add  r4, r4, r32
+    add  r4, r4, r33
+    add  r4, r4, r34
+    add  r6, r6, r5
+    addi r5, r5, 16
+    addi r20, r20, 8
+    addi r25, r25, 32
+    addi r26, r26, 3
+    andi r26, r26, 63
+    addi r1, r1, 1
+    blt  r1, r31, loop
+    addi r30, r30, 1
+    blt  r30, r28, lap
+    halt
+""")
+
+
+def ref_twolf(scale: float = 1.0, seed: int = 1) -> Dict[int, int]:
+    n, laps = scaled(384, scale), 3
+    rng = rng_for("twolf", seed)
+    vals = random_words(rng, n, 0, 1023)
+    gain = random_words(rng, 4 * n, 0, 63)
+    best, slack = 500, 16
+    acc6 = acc4 = accept = reject = 0
+    for _ in range(laps):
+        for i, v in enumerate(vals):
+            if v - best < slack:
+                accept += 1
+                best = v
+            else:
+                reject += 1
+            acc4 += v + sum(gain[4 * i: 4 * i + 4])
+            acc6 += best
+            best += 16
+            slack = (slack + 3) & 63
+    return {2: accept, 3: reject, 4: acc4 & MASK64, 5: best, 6: acc6 & MASK64}
+
+
+# ---------------------------------------------------------------------------
+# vortex — record updates with in-place stores (coherence pressure).
+# ---------------------------------------------------------------------------
+
+def build_vortex(scale: float = 1.0, seed: int = 1) -> str:
+    n, laps = scaled(384, scale), 3
+    rng = rng_for("vortex", seed)
+    recs: List[int] = []
+    for _ in range(n):
+        recs.append(rng.randint(0, 255))       # key
+        recs.append(rng.randint(0, 10_000))    # value
+    aud = random_words(rng, 4 * n, 0, 31)
+    return join_sections(
+        data_words("recs", recs),
+        data_words("vaud", aud),
+        f"""
+    la   r8, recs
+    la   r9, vaud
+    li   r28, {laps}
+    li   r31, {n}
+    li   r29, 80
+    li   r2, 0
+    li   r4, 0
+    li   r30, 0
+lap:
+    li   r1, 0
+    mov  r20, r8
+    mov  r25, r9
+loop:
+    ld   r0, 0(r20)
+    ld   r24, 0(r25)
+    ld   r32, 8(r25)
+    ld   r33, 16(r25)
+    ld   r34, 24(r25)
+    blt  r0, r29, skip
+    ld   r23, 8(r20)
+    add  r23, r23, r0
+    st   r23, 8(r20)
+    addi r2, r2, 1
+skip:
+    add  r4, r4, r0
+    add  r4, r4, r24
+    add  r4, r4, r32
+    add  r4, r4, r33
+    add  r4, r4, r34
+    addi r20, r20, 16
+    addi r25, r25, 32
+    addi r29, r29, 31
+    andi r29, r29, 255
+    addi r1, r1, 1
+    blt  r1, r31, loop
+    addi r30, r30, 1
+    blt  r30, r28, lap
+    halt
+""")
+
+
+def ref_vortex(scale: float = 1.0, seed: int = 1) -> Dict[int, int]:
+    n, laps = scaled(384, scale), 3
+    rng = rng_for("vortex", seed)
+    keys, values = [], []
+    for _ in range(n):
+        keys.append(rng.randint(0, 255))
+        values.append(rng.randint(0, 10_000))
+    aud = random_words(rng, 4 * n, 0, 31)
+    thr, updated, acc = 80, 0, 0
+    for _ in range(laps):
+        for i in range(n):
+            k = keys[i]
+            if k >= thr:
+                values[i] = (values[i] + k) & MASK64
+                updated += 1
+            acc += k + sum(aud[4 * i: 4 * i + 4])
+            thr = (thr + 31) & 255
+    return {2: updated, 4: acc & MASK64}
+
+
+# ---------------------------------------------------------------------------
+# vpr — |a-b| hammock (both arms write the same register) + clean accumulator.
+# ---------------------------------------------------------------------------
+
+def build_vpr(scale: float = 1.0, seed: int = 1) -> str:
+    n, laps = scaled(384, scale), 3
+    rng = rng_for("vpr", seed)
+    ax = random_words(rng, n, 0, 255)
+    bx = random_words(rng, n, 0, 255)
+    net = random_words(rng, 4 * n, 0, 63)
+    return join_sections(
+        data_words("ax", ax),
+        data_words("bx", bx),
+        data_words("net", net),
+        f"""
+    la   r8, ax
+    la   r9, bx
+    la   r11, net
+    li   r28, {laps}
+    li   r31, {n}
+    li   r2, 0
+    li   r3, 0
+    li   r4, 0
+    li   r6, 0
+    li   r30, 0
+lap:
+    li   r1, 0
+    mov  r20, r8
+    mov  r21, r9
+    mov  r26, r11
+loop:
+    ld   r0, 0(r20)
+    ld   r22, 0(r21)
+    ld   r23, 0(r26)
+    ld   r32, 8(r26)
+    ld   r33, 16(r26)
+    ld   r34, 24(r26)
+    blt  r0, r22, bless
+    sub  r5, r0, r22
+    addi r3, r3, 1
+    j    ip
+bless:
+    sub  r5, r22, r0
+    addi r2, r2, 1
+ip: add  r4, r4, r5
+    add  r6, r6, r0
+    add  r6, r6, r23
+    add  r6, r6, r32
+    add  r6, r6, r33
+    add  r6, r6, r34
+    andi r24, r22, 7
+    add  r25, r0, r24
+    st   r25, 0(r20)
+    addi r20, r20, 8
+    addi r21, r21, 8
+    addi r26, r26, 32
+    addi r1, r1, 1
+    blt  r1, r31, loop
+    addi r30, r30, 1
+    blt  r30, r28, lap
+    halt
+""")
+
+
+def ref_vpr(scale: float = 1.0, seed: int = 1) -> Dict[int, int]:
+    n, laps = scaled(384, scale), 3
+    rng = rng_for("vpr", seed)
+    ax = random_words(rng, n, 0, 255)
+    bx = random_words(rng, n, 0, 255)
+    net = random_words(rng, 4 * n, 0, 63)
+    a = list(ax)
+    less = geq = diff_acc = a_acc = 0
+    for _ in range(laps):
+        for i in range(n):
+            av, bv = a[i], bx[i]
+            if av < bv:
+                less += 1
+                d = bv - av
+            else:
+                geq += 1
+                d = av - bv
+            diff_acc += d
+            a_acc += av + sum(net[4 * i: 4 * i + 4])
+            a[i] = (av + (bv & 7)) & MASK64
+    return {2: less, 3: geq, 4: diff_acc & MASK64, 6: a_acc & MASK64}

@@ -1,0 +1,249 @@
+"""Microbenchmarks: isolated control-flow patterns ("the hammock zoo").
+
+Where the main suite imitates whole programs, these kernels isolate one
+mechanism-relevant property each, with a tunable knob:
+
+* ``biased_hammock(bias)``   — if-then-else whose branch is taken with
+  probability ``bias`` (sweeps the MBS filter's operating point),
+* ``if_then(bias)``          — the Figure 2b shape,
+* ``nested_hammock()``       — a hammock inside a hammock arm,
+* ``deep_ci_region(depth)``  — a hammock followed by ``depth`` strided
+  accumulations (how much control-independent work exists to reuse),
+* ``non_strided_ci()``       — control independence *without* strided
+  loads (selected but never vectorized — Figure 5's grey region),
+* ``variable_trip_loop(p)``  — an inner loop with geometric trip counts
+  (gzip-like loop-exit mispredictions),
+* ``both_arms_write()``      — both hammock arms write the consumed
+  register (CI blocked — Figure 5's white region).
+
+Each builder returns assembly; ``micro_program`` assembles it, and every
+pattern has a pure-Python reference in its docstring's spirit via the
+shared accumulator checks in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa import Program, assemble
+from .builders import join_sections, random_words, rng_for, scaled
+
+
+def _prologue(n: int, extra: str = "") -> str:
+    return f"""
+    la   r8, a
+    li   r31, {n}
+    li   r1, 0
+    li   r2, 0
+    li   r3, 0
+    li   r4, 0
+    mov  r20, r8
+{extra}"""
+
+
+def _epilogue() -> str:
+    return """
+    addi r20, r20, 8
+    addi r1, r1, 1
+    blt  r1, r31, loop
+    halt
+"""
+
+
+def biased_hammock(bias: float = 0.5, n: int = 512, seed: int = 1) -> str:
+    """If-then-else taken with probability ``bias`` (data-driven)."""
+    rng = rng_for(f"micro-bias-{bias}", seed)
+    vals = [1 if rng.random() < bias else 0 for _ in range(n)]
+    return join_sections(
+        f".dataw a {' '.join(map(str, vals))}",
+        _prologue(n),
+        """loop:
+    ld   r0, 0(r20)
+    bnez r0, then
+    addi r3, r3, 1
+    j    ip
+then:
+    addi r2, r2, 1
+ip: add  r4, r4, r0
+""",
+        _epilogue())
+
+
+def if_then(bias: float = 0.5, n: int = 512, seed: int = 1) -> str:
+    """The Figure 2b shape: a forward branch over the then body."""
+    rng = rng_for(f"micro-ifthen-{bias}", seed)
+    vals = [1 if rng.random() < bias else 0 for _ in range(n)]
+    return join_sections(
+        f".dataw a {' '.join(map(str, vals))}",
+        _prologue(n),
+        """loop:
+    ld   r0, 0(r20)
+    beqz r0, skip
+    addi r2, r2, 1
+    xor  r3, r3, r0
+skip:
+    add  r4, r4, r0
+""",
+        _epilogue())
+
+
+def nested_hammock(n: int = 512, seed: int = 1) -> str:
+    """A hammock inside the then arm of another hammock."""
+    vals = random_words(rng_for("micro-nested", seed), n, 0, 255)
+    return join_sections(
+        f".dataw a {' '.join(map(str, vals))}",
+        _prologue(n, extra="    li   r30, 128"),
+        """loop:
+    ld   r0, 0(r20)
+    blt  r0, r30, outer_else
+    andi r22, r0, 1
+    beqz r22, inner_else
+    addi r2, r2, 1
+    j    inner_ip
+inner_else:
+    addi r3, r3, 1
+inner_ip:
+    j    ip
+outer_else:
+    addi r5, r5, 1
+ip: add  r4, r4, r0
+""",
+        _epilogue())
+
+
+def deep_ci_region(depth: int = 8, n: int = 384, seed: int = 1) -> str:
+    """A hammock followed by ``depth`` strided accumulate steps."""
+    rng = rng_for(f"micro-deep-{depth}", seed)
+    vals = random_words(rng, n, 0, 255)
+    wts = random_words(rng, depth * n, 0, 15)
+    body: List[str] = ["loop:", "    ld   r0, 0(r20)"]
+    if depth > 16:
+        raise ValueError("deep_ci_region supports depth <= 16")
+    for d in range(depth):
+        body.append(f"    ld   r{32 + d}, {d * 8}(r21)")
+    body += ["    blt  r0, r30, below",
+             "    addi r3, r3, 1",
+             "    j    ip",
+             "below:",
+             "    addi r2, r2, 1",
+             "ip:"]
+    for d in range(depth):
+        body.append(f"    add  r4, r4, r{32 + d}")
+    body.append(f"    addi r21, r21, {depth * 8}")
+    return join_sections(
+        f".dataw a {' '.join(map(str, vals))}",
+        f".dataw w {' '.join(map(str, wts))}",
+        _prologue(n, extra="    la   r21, w\n    li   r30, 128"),
+        "\n".join(body) + "\n",
+        _epilogue())
+
+
+def non_strided_ci(n: int = 384, seed: int = 1) -> str:
+    """Control-independent work whose slice has no strided load."""
+    rng = rng_for("micro-nonstrided", seed)
+    from .builders import permutation_chain
+    nxt = permutation_chain(rng, n)
+    vals = random_words(rng, n, 0, 255)
+    return join_sections(
+        f".dataw nxt {' '.join(map(str, nxt))}",
+        f".dataw a {' '.join(map(str, vals))}",
+        f"""
+    la   r8, nxt
+    la   r9, a
+    li   r31, {n}
+    li   r30, 128
+    li   r1, 0
+    li   r2, 0
+    li   r3, 0
+    li   r4, 0
+    li   r21, 0
+loop:
+    add  r22, r8, r21
+    ld   r23, 0(r22)
+    add  r24, r9, r21
+    ld   r0, 0(r24)
+    blt  r0, r30, below
+    addi r3, r3, 1
+    j    ip
+below:
+    addi r2, r2, 1
+ip: add  r4, r4, r0
+    mov  r21, r23
+    addi r30, r30, 1
+    andi r30, r30, 255
+    addi r1, r1, 1
+    blt  r1, r31, loop
+    halt
+""")
+
+
+def variable_trip_loop(p_exit: float = 0.3, n: int = 256, seed: int = 1) -> str:
+    """Inner loop with geometric trip count (loop-exit mispredictions)."""
+    rng = rng_for(f"micro-trip-{p_exit}", seed)
+    # Element value v means the inner loop runs v iterations, v geometric.
+    vals = []
+    for _ in range(n):
+        k = 0
+        while rng.random() > p_exit and k < 12:
+            k += 1
+        vals.append(k)
+    return join_sections(
+        f".dataw a {' '.join(map(str, vals))}",
+        _prologue(n),
+        """loop:
+    ld   r0, 0(r20)
+    mov  r22, r0
+inner:
+    beqz r22, done
+    addi r4, r4, 1
+    subi r22, r22, 1
+    j    inner
+done:
+    add  r3, r3, r0
+""",
+        _epilogue())
+
+
+def both_arms_write(n: int = 512, seed: int = 1) -> str:
+    """Both arms write r5; its consumers are never control independent."""
+    rng = rng_for("micro-botharms", seed)
+    vals = random_words(rng, n, 0, 255)
+    return join_sections(
+        f".dataw a {' '.join(map(str, vals))}",
+        _prologue(n, extra="    li   r30, 128"),
+        """loop:
+    ld   r0, 0(r20)
+    blt  r0, r30, small
+    addi r5, r0, 100
+    j    ip
+small:
+    addi r5, r0, 1
+ip: add  r4, r4, r5
+    add  r3, r3, r0
+""",
+        _epilogue())
+
+
+#: name -> builder (with default knobs) for the registry
+MICRO_PATTERNS = {
+    "biased50": lambda seed=1: biased_hammock(0.5, seed=seed),
+    "biased90": lambda seed=1: biased_hammock(0.9, seed=seed),
+    "biased99": lambda seed=1: biased_hammock(0.99, seed=seed),
+    "if_then": lambda seed=1: if_then(0.5, seed=seed),
+    "nested": lambda seed=1: nested_hammock(seed=seed),
+    "deep4": lambda seed=1: deep_ci_region(4, seed=seed),
+    "deep12": lambda seed=1: deep_ci_region(12, seed=seed),
+    "non_strided": lambda seed=1: non_strided_ci(seed=seed),
+    "variable_trip": lambda seed=1: variable_trip_loop(seed=seed),
+    "both_arms": lambda seed=1: both_arms_write(seed=seed),
+}
+
+
+def micro_program(name: str, seed: int = 1) -> Program:
+    """Assemble one micro pattern by registry name."""
+    try:
+        builder = MICRO_PATTERNS[name]
+    except KeyError:
+        raise KeyError(f"unknown micro pattern {name!r}; "
+                       f"known: {sorted(MICRO_PATTERNS)}") from None
+    return assemble(builder(seed=seed), name=f"micro-{name}")

@@ -1,0 +1,105 @@
+"""Tests for the aggregation/reporting helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    CIBreakdown,
+    aggregate_breakdown,
+    ci_breakdown,
+    commit_breakdown,
+    format_bar,
+    format_table,
+    harmonic_mean,
+    speedup,
+)
+from repro.uarch import SimStats
+
+
+class TestHarmonicMean:
+    def test_simple(self):
+        assert harmonic_mean([2.0, 2.0]) == pytest.approx(2.0)
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+
+    def test_empty(self):
+        assert harmonic_mean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10), min_size=1,
+                    max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_by_min_and_arithmetic_mean(self, vals):
+        h = harmonic_mean(vals)
+        assert min(vals) - 1e-9 <= h <= sum(vals) / len(vals) + 1e-9
+
+    @given(st.floats(min_value=0.1, max_value=10),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_constant_vector(self, v, n):
+        assert harmonic_mean([v] * n) == pytest.approx(v)
+
+
+class TestSpeedup:
+    def test_values(self):
+        assert speedup(1.178, 1.0) == pytest.approx(0.178)
+        assert speedup(0.5, 1.0) == pytest.approx(-0.5)
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestBreakdowns:
+    def make_stats(self, **kw):
+        st_ = SimStats()
+        for k, v in kw.items():
+            setattr(st_, k, v)
+        return st_
+
+    def test_ci_breakdown_percentages(self):
+        b = CIBreakdown(events=100, selected=70, reused=49)
+        assert b.not_found_pct == pytest.approx(30.0)
+        assert b.selected_no_reuse_pct == pytest.approx(21.0)
+        assert b.reused_pct == pytest.approx(49.0)
+
+    def test_ci_breakdown_zero_events(self):
+        b = CIBreakdown(0, 0, 0)
+        assert b.not_found_pct == b.reused_pct == 0.0
+
+    def test_ci_breakdown_from_stats(self):
+        st_ = self.make_stats(ci_events=10, ci_selected=7, ci_reused=4)
+        b = ci_breakdown(st_)
+        assert (b.events, b.selected, b.reused) == (10, 7, 4)
+
+    def test_aggregate(self):
+        a = self.make_stats(ci_events=10, ci_selected=7, ci_reused=4)
+        b = self.make_stats(ci_events=20, ci_selected=10, ci_reused=6)
+        agg = aggregate_breakdown({"a": a, "b": b})
+        assert (agg.events, agg.selected, agg.reused) == (30, 17, 10)
+
+    def test_commit_breakdown(self):
+        st_ = self.make_stats(committed=100, committed_reused=14,
+                              squashed=40, replicas_executed=60)
+        b = commit_breakdown(st_)
+        assert b.no_reuse == 86 and b.reuse == 14
+        assert b.total == 200
+        assert b.reuse_pct_of_committed == pytest.approx(14.0)
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        out = format_table("T", ["a", "long"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.500" in out and "30" in out
+        widths = {len(l) for l in lines[2:]}
+        assert len(widths) == 1  # all data lines equally wide
+
+    def test_bar(self):
+        assert format_bar(0.5, width=10) == "#####....."
+        assert format_bar(0.0, width=4) == "...."
+        assert format_bar(1.5, width=4) == "####"  # clamped

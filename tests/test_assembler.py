@@ -1,0 +1,163 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import AssemblerError, DATA_BASE, Op, WORD, assemble
+
+
+class TestBasicEncoding:
+    def test_empty_program(self):
+        p = assemble("")
+        assert len(p) == 0
+
+    def test_comments_and_blanks_skipped(self):
+        p = assemble("""
+        ; full-line comment
+        # hash comment
+        nop   ; trailing comment
+        """)
+        assert len(p) == 1
+        assert p.code[0].op is Op.NOP
+
+    def test_alu_reg_reg(self):
+        p = assemble("add r1, r2, r3")
+        i = p.code[0]
+        assert (i.op, i.rd, i.rs1, i.rs2) == (Op.ADD, 1, 2, 3)
+        assert i.srcs == (2, 3)
+
+    def test_alu_reg_imm_mnemonic(self):
+        p = assemble("addi r1, r2, -5")
+        i = p.code[0]
+        assert (i.op, i.rd, i.rs1, i.imm) == (Op.ADDI, 1, 2, -5)
+        assert i.srcs == (2,)
+
+    def test_reg_reg_mnemonic_with_immediate_lowers(self):
+        p = assemble("add r1, r2, 5\nsub r1, r2, 3\nand r1, r2, 0xff")
+        assert p.code[0].op is Op.ADDI and p.code[0].imm == 5
+        assert p.code[1].op is Op.ADDI and p.code[1].imm == -3
+        assert p.code[2].op is Op.ANDI and p.code[2].imm == 0xFF
+
+    def test_subi_pseudo(self):
+        p = assemble("subi r1, r1, 4")
+        assert p.code[0].op is Op.ADDI and p.code[0].imm == -4
+
+    def test_li_and_mov(self):
+        p = assemble("li r5, 0x10\nmov r6, r5")
+        assert p.code[0].op is Op.LI and p.code[0].imm == 16
+        assert p.code[1].op is Op.MOV and p.code[1].rs1 == 5
+
+    def test_pc_assignment(self):
+        p = assemble("nop\nnop\nnop")
+        assert [i.pc for i in p.code] == [0, 1, 2]
+
+
+class TestMemoryOps:
+    def test_load_displacement(self):
+        p = assemble("ld r1, 16(r2)")
+        i = p.code[0]
+        assert (i.op, i.rd, i.rs1, i.imm) == (Op.LD, 1, 2, 16)
+
+    def test_store_operand_order(self):
+        # st value, disp(base): rs2 holds the value, rs1 the base.
+        p = assemble("st r7, 8(r3)")
+        i = p.code[0]
+        assert (i.op, i.rs1, i.rs2, i.imm) == (Op.ST, 3, 7, 8)
+        assert i.rd is None
+
+    def test_data_label_displacement(self):
+        p = assemble(".data buf 4\nld r1, buf(r2)")
+        assert p.code[0].imm == DATA_BASE
+
+    def test_data_allocation_is_sequential(self):
+        p = assemble(".data a 2\n.data b 3\nnop")
+        assert p.data_labels["a"] == DATA_BASE
+        assert p.data_labels["b"] == DATA_BASE + 2 * WORD
+        assert p.data_end == DATA_BASE + 5 * WORD
+
+    def test_dataw_initialises_memory(self):
+        p = assemble(".dataw v 10 0 30\nnop")
+        base = p.data_labels["v"]
+        mem = p.initial_memory()
+        assert mem.get(base) == 10
+        assert base + WORD not in mem  # zeros are implicit
+        assert mem.get(base + 2 * WORD) == 30
+
+    def test_la_pseudo(self):
+        p = assemble(".data arr 1\nla r1, arr")
+        assert p.code[0].op is Op.LI
+        assert p.code[0].imm == DATA_BASE
+
+    def test_label_plus_offset_immediate(self):
+        p = assemble(".data arr 4\nld r1, arr+8(r2)")
+        assert p.code[0].imm == DATA_BASE + 8
+
+
+class TestControlFlow:
+    def test_forward_and_backward_branches(self):
+        p = assemble("""
+        top: addi r1, r1, 1
+             beq r1, r2, done
+             j top
+        done: halt
+        """)
+        beq = p.code[1]
+        assert beq.op is Op.BEQ and beq.target == 3
+        assert beq.is_forward_branch and not beq.is_backward_branch
+        j = p.code[2]
+        assert j.op is Op.J and j.target == 0
+
+    def test_backward_branch_property(self):
+        p = assemble("loop: nop\nbnez r1, loop")
+        assert p.code[1].is_backward_branch
+
+    def test_zero_compare_branch(self):
+        p = assemble("beqz r3, out\nout: halt")
+        i = p.code[0]
+        assert i.op is Op.BEQZ and i.rs1 == 3 and i.target == 1
+        assert i.srcs == (3,)
+
+    def test_label_on_own_line(self):
+        p = assemble("start:\n  nop\n  j start")
+        assert p.labels["start"] == 0
+        assert p.code[1].target == 0
+
+    def test_multiple_labels_same_pc(self):
+        p = assemble("a: b: nop")
+        assert p.labels["a"] == p.labels["b"] == 0
+
+    def test_instruction_above(self):
+        p = assemble("nop\nadd r1, r1, r1\nhalt")
+        assert p.instruction_above(1).op is Op.NOP
+        assert p.instruction_above(0) is None
+
+
+class TestErrors:
+    @pytest.mark.parametrize("src", [
+        "bogus r1, r2, r3",
+        "add r1, r2",
+        "ld r1, r2",
+        "beq r1, r2, nowhere",
+        "li r99, 0",
+        ".data",
+        ".dataw x",
+        "div r1, r2, 5",          # no immediate form
+        "addi r1, r2, r3",        # immediate op with register operand
+    ])
+    def test_malformed_raises(self, src):
+        with pytest.raises(AssemblerError):
+            assemble(src)
+
+    def test_duplicate_code_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("x: nop\nx: nop")
+
+    def test_duplicate_data_label(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data x 1\n.data x 1")
+
+
+class TestListing:
+    def test_listing_contains_labels_and_pcs(self):
+        p = assemble("start: addi r1, r1, 1\nj start")
+        out = p.listing()
+        assert "start:" in out and "addi" in out

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_config
+from repro.uarch.config import INF_REGS
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+class TestMakeConfig:
+    def parse(self, *argv):
+        return build_parser().parse_args(list(argv))
+
+    def test_scal(self):
+        cfg = make_config(self.parse("run", "bzip2", "--scheme", "scal",
+                                     "--regs", "256", "--ports", "2"))
+        assert cfg.ci_policy is None and not cfg.wide_bus
+        assert cfg.phys_regs == 256 and cfg.l1d_ports == 2
+
+    def test_ci_with_specmem(self):
+        cfg = make_config(self.parse("run", "bzip2", "--scheme", "ci",
+                                     "--spec-mem", "768"))
+        assert cfg.ci_policy == "ci" and cfg.spec_mem_size == 768
+
+    def test_inf_regs(self):
+        cfg = make_config(self.parse("run", "bzip2", "--regs", "inf"))
+        assert cfg.phys_regs == INF_REGS
+
+    def test_vect_policy(self):
+        cfg = make_config(self.parse("run", "bzip2", "--scheme", "vect",
+                                     "--replicas", "8"))
+        assert cfg.ci_policy == "vect" and cfg.replicas == 8
+
+
+class TestCommands:
+    def test_run_kernel(self, capsys):
+        rc, out = run_cli(capsys, "run", "gzip", "--scale", "0.3")
+        assert rc == 0
+        assert "IPC" in out and "reused instructions" in out
+
+    def test_run_baseline_hides_mechanism_stats(self, capsys):
+        rc, out = run_cli(capsys, "run", "gzip", "--scheme", "wb",
+                          "--scale", "0.3")
+        assert rc == 0 and "replicas created" not in out
+
+    def test_run_assembly_file(self, tmp_path, capsys):
+        f = tmp_path / "prog.s"
+        f.write_text("li r1, 41\naddi r1, r1, 1\nhalt\n")
+        rc, out = run_cli(capsys, "run", str(f), "--scheme", "scal")
+        assert rc == 0 and "committed / cycles : 3" in out
+
+    def test_trace(self, capsys):
+        rc, out = run_cli(capsys, "trace", "eon", "--scale", "0.3")
+        assert rc == 0
+        assert "branch anatomy" in out and "load strides" in out
+
+    def test_list(self, capsys):
+        rc, out = run_cli(capsys, "list")
+        assert rc == 0
+        for token in ("bzip2", "vpr", "fig09", "headroom", "ci-iw"):
+            assert token in out
+
+    def test_unknown_figure(self, capsys):
+        rc = main(["figure", "fig99"])
+        assert rc == 2
+
+    def test_unknown_ablation(self, capsys):
+        rc = main(["ablation", "nosuch"])
+        assert rc == 2
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "nosuchkernel"])
+
+    def test_figure_by_number(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.2")
+        rc, out = run_cli(capsys, "figure", "5", "--scale", "0.2")
+        assert rc == 0 and "Figure 5" in out

@@ -1,0 +1,135 @@
+"""Unit and property tests for opcode semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import ALU_EVAL, BRANCH_COND, MASK64, FUClass, FU_OF_OP, Op
+from repro.isa.opcodes import to_signed, to_unsigned
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+s64 = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+
+
+class TestSignConversion:
+    def test_roundtrip_small(self):
+        for v in (-1, 0, 1, 42, -42, (1 << 63) - 1, -(1 << 63)):
+            assert to_signed(to_unsigned(v)) == v
+
+    @given(s64)
+    def test_roundtrip_property(self, v):
+        assert to_signed(to_unsigned(v)) == v
+
+    @given(u64)
+    def test_unsigned_fixed_point(self, v):
+        assert to_unsigned(to_signed(v)) == v
+
+
+class TestALUSemantics:
+    def test_add_wraps(self):
+        assert ALU_EVAL[Op.ADD](MASK64, 1, 0) == 0
+
+    def test_sub_wraps(self):
+        assert ALU_EVAL[Op.SUB](0, 1, 0) == MASK64
+
+    def test_mul(self):
+        assert ALU_EVAL[Op.MUL](7, 6, 0) == 42
+
+    def test_div_truncates_toward_zero(self):
+        assert to_signed(ALU_EVAL[Op.DIV](to_unsigned(-7), 2, 0)) == -3
+        assert ALU_EVAL[Op.DIV](7, 2, 0) == 3
+
+    def test_div_by_zero_yields_zero(self):
+        assert ALU_EVAL[Op.DIV](5, 0, 0) == 0
+        assert ALU_EVAL[Op.REM](5, 0, 0) == 0
+
+    def test_rem_sign_follows_dividend(self):
+        assert to_signed(ALU_EVAL[Op.REM](to_unsigned(-7), 2, 0)) == -1
+        assert ALU_EVAL[Op.REM](7, to_unsigned(-2), 0) == 1
+
+    def test_shift_masks_amount(self):
+        assert ALU_EVAL[Op.SLL](1, 64, 0) == 1  # shift by 64 & 63 == 0
+
+    def test_sra_sign_extends(self):
+        assert to_signed(ALU_EVAL[Op.SRA](to_unsigned(-8), 1, 0)) == -4
+
+    def test_srl_zero_extends(self):
+        assert ALU_EVAL[Op.SRL](to_unsigned(-8), 62, 0) == 3
+
+    def test_comparisons_signed(self):
+        assert ALU_EVAL[Op.SLT](to_unsigned(-1), 0, 0) == 1
+        assert ALU_EVAL[Op.SLE](5, 5, 0) == 1
+        assert ALU_EVAL[Op.SEQ](5, 5, 0) == 1
+        assert ALU_EVAL[Op.SEQ](5, 6, 0) == 0
+
+    def test_min_max_signed(self):
+        assert to_signed(ALU_EVAL[Op.MIN](to_unsigned(-3), 2, 0)) == -3
+        assert ALU_EVAL[Op.MAX](to_unsigned(-3), 2, 0) == 2
+
+    def test_immediates(self):
+        assert ALU_EVAL[Op.ADDI](5, 0, -7) == to_unsigned(-2)
+        assert ALU_EVAL[Op.LI](0, 0, -1) == MASK64
+        assert ALU_EVAL[Op.SLTI](to_unsigned(-5), 0, 0) == 1
+
+    @given(u64, u64)
+    def test_add_sub_inverse(self, a, b):
+        s = ALU_EVAL[Op.ADD](a, b, 0)
+        assert ALU_EVAL[Op.SUB](s, b, 0) == a
+
+    @given(u64, u64)
+    def test_xor_involution(self, a, b):
+        x = ALU_EVAL[Op.XOR](a, b, 0)
+        assert ALU_EVAL[Op.XOR](x, b, 0) == a
+
+    @given(u64)
+    def test_results_stay_in_domain(self, a):
+        for op in (Op.ADD, Op.SUB, Op.MUL, Op.SLL, Op.SRA, Op.SRL):
+            r = ALU_EVAL[op](a, a, 0)
+            assert 0 <= r <= MASK64
+
+
+class TestBranchSemantics:
+    @given(u64, u64)
+    def test_eq_ne_complementary(self, a, b):
+        assert BRANCH_COND[Op.BEQ](a, b) != BRANCH_COND[Op.BNE](a, b)
+
+    @given(u64, u64)
+    def test_lt_ge_complementary(self, a, b):
+        assert BRANCH_COND[Op.BLT](a, b) != BRANCH_COND[Op.BGE](a, b)
+
+    @given(u64, u64)
+    def test_le_gt_complementary(self, a, b):
+        assert BRANCH_COND[Op.BLE](a, b) != BRANCH_COND[Op.BGT](a, b)
+
+    def test_zero_compare_forms(self):
+        assert BRANCH_COND[Op.BEQZ](0, 0)
+        assert not BRANCH_COND[Op.BEQZ](1, 0)
+        assert BRANCH_COND[Op.BNEZ](1, 0)
+        assert BRANCH_COND[Op.BLTZ](to_unsigned(-1), 0)
+        assert BRANCH_COND[Op.BGEZ](0, 0)
+
+    def test_signed_comparison(self):
+        assert BRANCH_COND[Op.BLT](to_unsigned(-1), 1)
+        assert not BRANCH_COND[Op.BLT](1, to_unsigned(-1))
+
+
+class TestFUMapping:
+    def test_every_op_has_fu(self):
+        for op in Op:
+            assert op in FU_OF_OP
+
+    @pytest.mark.parametrize("op,fu", [
+        (Op.ADD, FUClass.INT_ALU),
+        (Op.MUL, FUClass.INT_MUL),
+        (Op.DIV, FUClass.INT_DIV),
+        (Op.FADD, FUClass.FP_ADD),
+        (Op.FMUL, FUClass.FP_MUL),
+        (Op.FDIV, FUClass.FP_DIV),
+        (Op.LD, FUClass.MEM),
+        (Op.ST, FUClass.MEM),
+        (Op.BEQ, FUClass.BRANCH),
+        (Op.J, FUClass.BRANCH),
+        (Op.NOP, FUClass.NONE),
+    ])
+    def test_fu_classes(self, op, fu):
+        assert FU_OF_OP[op] is fu

@@ -1,0 +1,129 @@
+"""Characterisation tests on the microbenchmark zoo.
+
+Each pattern isolates one mechanism behaviour; these tests pin the
+mechanism's qualitative response to each, which is much sharper than
+anything the full kernels can assert.
+"""
+
+import pytest
+
+from repro import run_program
+from repro.isa import run as frun
+from repro.uarch import ci, wb
+from repro.workloads.micro import (
+    MICRO_PATTERNS,
+    biased_hammock,
+    deep_ci_region,
+    micro_program,
+)
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    out = {}
+    for name in MICRO_PATTERNS:
+        prog = micro_program(name)
+        out[name] = {
+            "prog": prog,
+            "wb": run_program(prog, wb(1, 512)),
+            "ci": run_program(prog, ci(1, 512)),
+        }
+    return out
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", sorted(MICRO_PATTERNS))
+    def test_commit_counts(self, zoo, name):
+        d = zoo[name]
+        steps = frun(d["prog"]).steps
+        assert d["wb"].committed == d["ci"].committed == steps
+
+    def test_unknown_pattern(self):
+        with pytest.raises(KeyError):
+            micro_program("nope")
+
+    def test_deep_depth_limit(self):
+        with pytest.raises(ValueError):
+            deep_ci_region(17)
+
+
+class TestMBSOperatingPoint:
+    """The bias sweep: the MBS filter activates only on hard branches."""
+
+    def test_random_branch_examined(self, zoo):
+        assert zoo["biased50"]["ci"].ci_events > 100
+
+    def test_heavily_biased_branch_filtered(self, zoo):
+        # At 99% bias the branch is easy: MBS saturates, CI stays off.
+        assert zoo["biased99"]["ci"].ci_events <= 5
+        assert zoo["biased99"]["ci"].replicas_created <= 100
+
+    def test_events_decrease_with_bias(self, zoo):
+        e50 = zoo["biased50"]["ci"].ci_events
+        e90 = zoo["biased90"]["ci"].ci_events
+        e99 = zoo["biased99"]["ci"].ci_events
+        assert e50 > e90 > e99
+
+    def test_gain_tracks_misprediction_exposure(self, zoo):
+        gain = lambda n: (zoo[n]["ci"].ipc / zoo[n]["wb"].ipc) - 1
+        assert gain("biased50") > gain("biased99") + 0.10
+        assert abs(gain("biased99")) < 0.05  # nothing to exploit
+
+
+class TestCIRegionShape:
+    def test_deeper_ci_region_reuses_more(self, zoo):
+        assert (zoo["deep12"]["ci"].reuse_fraction
+                > zoo["deep4"]["ci"].reuse_fraction)
+
+    def test_if_then_shape_works_too(self, zoo):
+        st = zoo["if_then"]["ci"]
+        assert st.ci_selected > 0 and st.committed_reused > 0
+
+    def test_nested_hammocks_work(self, zoo):
+        st = zoo["nested"]["ci"]
+        assert st.ci_selected > 0
+        assert st.ipc > zoo["nested"]["wb"].ipc * 1.1
+
+
+class TestFigure5Regions:
+    """The zoo isolates the figure's three stacking regions."""
+
+    def test_grey_region_selected_but_no_reuse(self, zoo):
+        # Pointer chase: CI instructions found, nothing vectorizable.
+        st = zoo["non_strided"]["ci"]
+        assert st.ci_selected > 50
+        assert st.committed_reused == 0
+        assert st.ipc == pytest.approx(zoo["non_strided"]["wb"].ipc,
+                                       rel=0.03)
+
+    def test_black_region_reuse(self, zoo):
+        st = zoo["biased50"]["ci"]
+        assert st.ci_reused > 0.3 * st.ci_events
+
+    def test_both_arms_write_blocks_diff_consumers(self, zoo):
+        # Selection succeeds (the clean accumulator), but less of the
+        # committed stream reuses than in the plain hammock with the same
+        # amount of post-reconvergence work.
+        st = zoo["both_arms"]["ci"]
+        assert st.ci_selected > 0
+
+
+class TestLoopExit:
+    def test_variable_trip_mispredicts_heavily(self, zoo):
+        assert zoo["variable_trip"]["wb"].mispredict_rate > 0.3
+
+    def test_mechanism_still_helps_a_little(self, zoo):
+        # Loop-exit mispredictions re-converge at the *next element*: less
+        # reusable work than a hammock, but not zero.
+        gain = (zoo["variable_trip"]["ci"].ipc
+                / zoo["variable_trip"]["wb"].ipc) - 1
+        assert 0.0 <= gain < 0.5
+
+
+class TestKnobs:
+    def test_bias_knob_changes_data(self):
+        assert biased_hammock(0.2) != biased_hammock(0.8)
+
+    def test_seed_changes_data(self):
+        assert (micro_program("biased50", seed=1).initial_memory()
+                != micro_program("biased50", seed=9).initial_memory())

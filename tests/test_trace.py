@@ -1,0 +1,115 @@
+"""Tests for the trace front end (events, tracer, analyses)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import assemble
+from repro.trace import collect_trace, profile_trace
+from repro.trace.analysis import BranchStats, LoadStats
+
+
+class TestCollectTrace:
+    def test_events_sequential_and_complete(self):
+        p = assemble("nop\naddi r1, r1, 1\nhalt")
+        tr = collect_trace(p)
+        assert [e.seq for e in tr] == [0, 1, 2]
+        assert [e.pc for e in tr] == [0, 1, 2]
+        assert tr[1].result == 1
+
+    def test_branch_taken_flags(self):
+        p = assemble("""
+            li r1, 2
+        loop:
+            subi r1, r1, 1
+            bnez r1, loop
+            halt
+        """)
+        tr = collect_trace(p)
+        branches = [e for e in tr if e.is_cond_branch]
+        assert [e.taken for e in branches] == [True, False]
+
+    def test_next_pc_links(self):
+        p = assemble("j skip\nnop\nskip: halt")
+        tr = collect_trace(p)
+        assert tr[0].next_pc == 2
+        assert len(tr) == 2  # the nop is skipped
+
+    def test_load_store_addresses(self):
+        p = assemble(".data b 2\nla r1, b\nst r1, 0(r1)\nld r2, 0(r1)\nhalt")
+        tr = collect_trace(p)
+        st_ev = next(e for e in tr if e.is_store)
+        ld_ev = next(e for e in tr if e.is_load)
+        assert st_ev.eff_addr == ld_ev.eff_addr
+
+
+class TestBranchStats:
+    def test_bias_and_hardness(self):
+        b = BranchStats(pc=0)
+        for taken in [True] * 20:
+            b.record(taken)
+        assert b.bias == 1.0 and not b.is_hard
+        b2 = BranchStats(pc=1)
+        for i in range(20):
+            b2.record(i % 2 == 0)
+        assert b2.is_hard and b2.transitions == 19
+
+    def test_few_executions_not_hard(self):
+        b = BranchStats(pc=0)
+        for taken in (True, False, True):
+            b.record(taken)
+        assert not b.is_hard  # too few samples
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_counts_consistent(self, outcomes):
+        b = BranchStats(pc=0)
+        for t in outcomes:
+            b.record(t)
+        assert b.execs == len(outcomes)
+        assert b.taken == sum(outcomes)
+        assert 0.5 <= b.bias <= 1.0
+
+
+class TestLoadStats:
+    def test_constant_stride_detected(self):
+        l = LoadStats(pc=0)
+        for i in range(10):
+            l.record(1000 + 16 * i)
+        assert l.is_strided and l.dominant_stride == 16
+        assert l.stride_rate == 1.0
+
+    def test_random_addresses_not_strided(self):
+        l = LoadStats(pc=0)
+        for a in (3, 1000, 17, 523, 88, 4021, 9, 777):
+            l.record(a)
+        assert not l.is_strided
+
+    def test_too_few_samples(self):
+        l = LoadStats(pc=0)
+        l.record(0)
+        l.record(8)
+        assert l.stride_rate == 0.0 and not l.is_strided
+
+
+class TestProfileTrace:
+    def test_profile_counts(self):
+        p = assemble("""
+        .dataw v 1 2 3 4
+            la r8, v
+            li r1, 4
+        loop:
+            ld r0, 0(r8)
+            addi r8, r8, 8
+            subi r1, r1, 1
+            bnez r1, loop
+            halt
+        """)
+        prof = profile_trace(collect_trace(p))
+        assert prof.dynamic_branch_count == 4
+        load = next(iter(prof.loads.values()))
+        assert load.execs == 4 and load.dominant_stride == 8
+
+    def test_empty_trace(self):
+        prof = profile_trace([])
+        assert prof.instructions == 0
+        assert prof.hard_branch_fraction == 0.0
