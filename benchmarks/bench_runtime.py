@@ -1,0 +1,42 @@
+"""Core-loop speed baseline: cycles simulated per wall-clock second.
+
+Unlike the figure benches (which time whole table regenerations and are
+dominated by how many configurations they sweep), this times ONE fixed
+(kernel, config) simulation so future PRs can track the cycle loop's
+raw speed.  The disk cache is bypassed — a cache hit would time JSON
+parsing, not simulation.
+
+History (scale=0.35, mcf, ci(1, 512), this container's single core):
+
+* pre-runtime seed: ~13 kcycles/s
+* after the hot-loop pass (precomputed instruction flags/dispatch
+  kinds, PortState reuse, hoisted stage locals): ~19 kcycles/s
+"""
+
+from repro import run_program
+from repro.uarch.config import ci, scal
+from repro.workloads import build_program
+
+SCALE = 0.35
+SEED = 1
+
+
+def _bench_one(benchmark, kernel, cfg, label):
+    prog = build_program(kernel, SCALE, SEED)
+    run_program(prog, cfg)  # warm-up: JIT-free, but touches all code paths
+    stats = benchmark.pedantic(run_program, args=(prog, cfg),
+                               rounds=3, iterations=1)
+    benchmark.extra_info["cycles"] = stats.cycles
+    benchmark.extra_info["kcycles_per_s"] = round(
+        stats.cycles / benchmark.stats["mean"] / 1000, 1)
+    assert stats.cycles > 0 and stats.committed > 0, label
+
+
+def test_core_loop_ci(benchmark):
+    """The mechanism-heavy path: mcf under the full CI machine."""
+    _bench_one(benchmark, "mcf", ci(1, 512), "mcf/ci")
+
+
+def test_core_loop_scal(benchmark):
+    """The plain superscalar path (no hooks attached)."""
+    _bench_one(benchmark, "mcf", scal(1, 256), "mcf/scal")

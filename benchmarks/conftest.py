@@ -32,8 +32,9 @@ def report_sink():
     """Collects every regenerated figure; writes them all at session end.
 
     pytest captures teardown stdout, so the tables also land in
-    ``bench_figures.txt`` in the working directory — that file is the
-    harness's actual deliverable (the same rows/series the paper reports).
+    ``bench_figures.txt`` under ``REPRO_REPORT_DIR`` (default: the
+    working directory, created if missing) — that file is the harness's
+    actual deliverable (the same rows/series the paper reports).
     """
     figures = {}
     yield figures
@@ -42,7 +43,9 @@ def report_sink():
         lines.append(fig.render())
         lines.append("")
     report = "\n".join(lines)
-    with open("bench_figures.txt", "w") as fh:
+    report_dir = os.environ.get("REPRO_REPORT_DIR", ".")
+    os.makedirs(report_dir, exist_ok=True)
+    with open(os.path.join(report_dir, "bench_figures.txt"), "w") as fh:
         fh.write(report)
     print("\n" + report)
 

@@ -13,6 +13,7 @@ See README.md for the full walkthrough and DESIGN.md for the system map.
 from typing import Optional
 
 from . import isa, trace, uarch, workloads
+from . import runtime
 from .ci import CIEngine
 from .isa import Program, assemble
 from .uarch import Core, Hooks, ProcessorConfig, SimStats, simulate
@@ -59,6 +60,7 @@ __all__ = [
     "kernel_names",
     "run_kernel",
     "run_program",
+    "runtime",
     "simulate",
     "trace",
     "uarch",

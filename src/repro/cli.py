@@ -9,6 +9,14 @@ Commands
 ``ablation`` run one of the design-choice ablations
 ``list``     list kernels, figures and ablations
 ``trace``    trace-driven profile of a kernel (branches, strides, reconv.)
+``cache``    inspect or clear the persistent simulation-result cache
+``profile``  cProfile one kernel simulation (hot-loop work)
+
+``suite``/``figure``/``ablation`` accept ``--jobs N`` (or ``REPRO_JOBS``)
+to fan simulations out over a worker-process pool; results persist in
+the disk cache so repeat invocations pay only for new configurations.
+A one-line runtime summary (simulations run / cache hits) goes to
+stderr, keeping stdout byte-identical between serial and parallel runs.
 """
 
 from __future__ import annotations
@@ -58,6 +66,12 @@ def _add_machine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=1, help="workload data seed")
 
 
+def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="simulation worker processes (default: REPRO_JOBS "
+                        "or the machine's core count; 1 = in-process)")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     if args.kernel.endswith(".s") or args.kernel.endswith(".asm"):
         with open(args.kernel) as fh:
@@ -92,11 +106,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_suite(args: argparse.Namespace) -> int:
+    from .experiments.common import Runner
     cfg = make_config(args)
+    runner = Runner(scale=args.scale, seed=args.seed, jobs=args.jobs)
+    stats = runner.run_suite(cfg)
     rows = []
     ipcs = []
-    for name in kernel_names():
-        st = run_program(build_program(name, args.scale, args.seed), cfg)
+    for name, st in stats.items():
         ipcs.append(st.ipc)
         rows.append([name, st.ipc, f"{st.mispredict_rate:.1%}",
                      f"{st.reuse_fraction:.1%}", st.cycles])
@@ -104,6 +120,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
     print(format_table(
         f"suite under {args.scheme} ({args.regs} regs, {args.ports} port(s))",
         ["kernel", "IPC", "mispred", "reuse", "cycles"], rows))
+    print(runner.runtime_summary(), file=sys.stderr)
     return 0
 
 
@@ -111,8 +128,11 @@ def cmd_figure(args: argparse.Namespace) -> int:
     import os
     os.environ["REPRO_SCALE"] = str(args.scale)
     from .experiments import ALL_EXPERIMENTS, generate_report
+    from .experiments.common import Runner
+    runner = Runner(jobs=args.jobs)
     if args.name == "all":
-        print(generate_report())
+        print(generate_report(runner))
+        print(runner.runtime_summary(), file=sys.stderr)
         return 0
     key = args.name if args.name.startswith(("fig", "intext")) \
         else f"fig{int(args.name):02d}"
@@ -120,7 +140,8 @@ def cmd_figure(args: argparse.Namespace) -> int:
         print(f"unknown figure {args.name!r}; known: "
               f"{', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
-    print(ALL_EXPERIMENTS[key]().render())
+    print(ALL_EXPERIMENTS[key](runner).render())
+    print(runner.runtime_summary(), file=sys.stderr)
     return 0
 
 
@@ -128,11 +149,42 @@ def cmd_ablation(args: argparse.Namespace) -> int:
     import os
     os.environ["REPRO_SCALE"] = str(args.scale)
     from .experiments import ALL_ABLATIONS
+    from .experiments.common import Runner
     if args.name not in ALL_ABLATIONS:
         print(f"unknown ablation {args.name!r}; known: "
               f"{', '.join(sorted(ALL_ABLATIONS))}", file=sys.stderr)
         return 2
-    print(ALL_ABLATIONS[args.name]().render())
+    runner = Runner(jobs=args.jobs)
+    print(ALL_ABLATIONS[args.name](runner).render())
+    print(runner.runtime_summary(), file=sys.stderr)
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .runtime import CACHE_SCHEMA, ResultCache
+    cache = ResultCache()
+    if args.action == "info":
+        info = cache.info()
+        print(f"cache root : {info['root']}")
+        print(f"enabled    : {info['enabled']} (REPRO_CACHE=0 disables)")
+        print(f"schema     : v{CACHE_SCHEMA}")
+        print(f"entries    : {info['entries']}")
+        print(f"size       : {info['bytes'] / 1024:.1f} KiB")
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.root}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .runtime import profile_kernel
+    stats, report = profile_kernel(
+        args.kernel, make_config(args), scale=args.scale, seed=args.seed,
+        sort=args.sort, limit=args.limit)
+    print(f"{args.kernel}: {stats.committed} committed / {stats.cycles} "
+          f"cycles (IPC {stats.ipc:.3f})")
+    print(report)
     return 0
 
 
@@ -188,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ps = sub.add_parser("suite", help="run all kernels under one scheme")
     _add_machine_args(ps)
+    _add_jobs_arg(ps)
     ps.set_defaults(fn=cmd_suite)
 
     pf = sub.add_parser("figure", help="regenerate a paper figure")
@@ -195,11 +248,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fig04..fig14, intext, a number, or 'all' "
                          "(the full EXPERIMENTS.md report)")
     pf.add_argument("--scale", type=float, default=0.5)
+    _add_jobs_arg(pf)
     pf.set_defaults(fn=cmd_figure)
 
     pa = sub.add_parser("ablation", help="run a design-choice ablation")
     pa.add_argument("name")
     pa.add_argument("--scale", type=float, default=0.35)
+    _add_jobs_arg(pa)
     pa.set_defaults(fn=cmd_ablation)
 
     pl = sub.add_parser("list", help="list kernels/figures/ablations")
@@ -210,6 +265,20 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--scale", type=float, default=0.5)
     pt.add_argument("--seed", type=int, default=1)
     pt.set_defaults(fn=cmd_trace)
+
+    pc = sub.add_parser("cache", help="persistent result-cache maintenance")
+    pc.add_argument("action", choices=("info", "clear"))
+    pc.set_defaults(fn=cmd_cache)
+
+    pp = sub.add_parser("profile",
+                        help="cProfile one kernel simulation")
+    pp.add_argument("kernel", help="suite kernel name")
+    _add_machine_args(pp)
+    pp.add_argument("--sort", choices=("cumulative", "tottime", "ncalls"),
+                    default="cumulative", help="pstats sort order")
+    pp.add_argument("--limit", type=int, default=30,
+                    help="rows of the profile to print")
+    pp.set_defaults(fn=cmd_profile)
     return p
 
 

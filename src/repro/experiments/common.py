@@ -5,9 +5,12 @@ the configurations the paper's figure sweeps, renders the same rows/series
 as a text table, and evaluates *shape checks* — the qualitative claims
 (who wins, where crossovers fall) that the reproduction must preserve.
 
-Simulation results are memoised per (kernel, scale, seed, config), so
-figures sharing configurations (e.g. the Figure 9 baselines reused by
-Figures 10, 13 and 14) pay for each run once per process.
+Simulation results are memoised per (kernel, scale, seed, config) and
+persisted through the runtime layer's disk cache, so figures sharing
+configurations (e.g. the Figure 9 baselines reused by Figures 10, 13
+and 14) pay for each run once per process — and re-running a figure
+across sessions only pays for new configurations.  Suite sweeps fan out
+over the runtime's worker pool (``--jobs`` / ``REPRO_JOBS``).
 """
 
 from __future__ import annotations
@@ -17,10 +20,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import format_table, harmonic_mean
+from ..runtime import ParallelRunner, ResultCache
 from ..uarch import ProcessorConfig, SimStats
 from ..uarch.config import INF_REGS
-from ..workloads import build_program, kernel_names
-from .. import run_program
+from ..workloads import kernel_names
 
 #: default workload scale for experiments; override with REPRO_SCALE
 EXPERIMENT_SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
@@ -77,32 +80,28 @@ class Figure:
         return all(c.passed for c in self.checks)
 
 
-class Runner:
-    """Memoising simulation runner shared across figures."""
+class Runner(ParallelRunner):
+    """Memoising simulation runner shared across figures.
+
+    A thin experiment-harness face over the runtime layer: scale/seed
+    default from ``REPRO_SCALE``/``REPRO_SEED``, suite sweeps resolve
+    all 12 kernels as one batch (parallel across the worker pool when
+    ``jobs > 1``), and results persist in the runtime's disk cache.
+    """
 
     def __init__(self, scale: Optional[float] = None,
-                 seed: Optional[int] = None):
-        self.scale = EXPERIMENT_SCALE if scale is None else scale
-        self.seed = EXPERIMENT_SEED if seed is None else seed
-        self._cache: Dict[tuple, SimStats] = {}
-        self._programs: Dict[str, object] = {}
-
-    def program(self, name: str):
-        prog = self._programs.get(name)
-        if prog is None:
-            prog = self._programs[name] = build_program(name, self.scale,
-                                                        self.seed)
-        return prog
-
-    def run(self, name: str, cfg: ProcessorConfig) -> SimStats:
-        key = (name, cfg)
-        st = self._cache.get(key)
-        if st is None:
-            st = self._cache[key] = run_program(self.program(name), cfg)
-        return st
+                 seed: Optional[int] = None,
+                 jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None):
+        super().__init__(
+            scale=EXPERIMENT_SCALE if scale is None else scale,
+            seed=EXPERIMENT_SEED if seed is None else seed,
+            jobs=jobs, cache=cache)
 
     def run_suite(self, cfg: ProcessorConfig) -> Dict[str, SimStats]:
-        return {name: self.run(name, cfg) for name in kernel_names()}
+        names = kernel_names()
+        stats = self.run_many([(name, cfg) for name in names])
+        return dict(zip(names, stats))
 
     def suite_hmean_ipc(self, cfg: ProcessorConfig) -> float:
         return harmonic_mean(s.ipc for s in self.run_suite(cfg).values())

@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from .opcodes import (
+    ALU_EVAL,
+    BRANCH_COND,
     COND_BRANCHES,
     FU_OF_OP,
     NO_SRC_ALU,
@@ -23,6 +25,34 @@ from .opcodes import (
 )
 
 NUM_LOGICAL_REGS = 64
+
+# Execution-dispatch kinds, precomputed per instruction so the timing
+# core and the functional interpreter branch on one int instead of a
+# chain of ``op in ALU_EVAL`` / ``op is Op.LD`` tests per dynamic
+# instruction (measured hot path; see benchmarks/bench_runtime.py).
+K_ALU = 0
+K_LOAD = 1
+K_STORE = 2
+K_BRANCH = 3
+K_JUMP = 4
+K_NOP = 5
+K_HALT = 6
+
+#: op -> kind, indexable by ``int(op)``
+KIND_OF_OP = [K_NOP] * (max(Op) + 1)
+for _op in Op:
+    if _op in ALU_EVAL:
+        KIND_OF_OP[_op] = K_ALU
+    elif _op is Op.LD:
+        KIND_OF_OP[_op] = K_LOAD
+    elif _op is Op.ST:
+        KIND_OF_OP[_op] = K_STORE
+    elif _op in BRANCH_COND:
+        KIND_OF_OP[_op] = K_BRANCH
+    elif _op is Op.J:
+        KIND_OF_OP[_op] = K_JUMP
+    elif _op is Op.HALT:
+        KIND_OF_OP[_op] = K_HALT
 
 
 @dataclass(frozen=True)
@@ -47,6 +77,49 @@ class Instruction:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "srcs", self._compute_srcs())
+        self._precompute()
+
+    def _precompute(self) -> None:
+        """Materialise the structural predicates as plain attributes.
+
+        These used to be ``@property`` lookups; the timing core reads
+        them several times per dynamic instruction, so descriptor +
+        enum-comparison overhead was a measurable slice of simulation
+        time.  ``alu_fn``/``branch_fn`` are the evaluation callables
+        (or ``None``), resolved once per *static* instruction.
+        """
+        op = self.op
+        _set = object.__setattr__
+        _set(self, "kind", KIND_OF_OP[op])
+        _set(self, "is_load", op is Op.LD)
+        _set(self, "is_store", op is Op.ST)
+        _set(self, "is_mem", op is Op.LD or op is Op.ST)
+        _set(self, "is_cond_branch", op in COND_BRANCHES)
+        _set(self, "is_jump", op is Op.J)
+        _set(self, "is_control", op in COND_BRANCHES or op is Op.J)
+        _set(self, "is_halt", op is Op.HALT)
+        _set(self, "writes_reg", self.rd is not None)
+        _set(self, "fu_class", FU_OF_OP[op])
+        has_target = self.target is not None
+        is_cond = op in COND_BRANCHES
+        _set(self, "is_backward_branch",
+             is_cond and has_target and self.target <= self.pc)
+        _set(self, "is_forward_branch",
+             is_cond and has_target and self.target > self.pc)
+        _set(self, "alu_fn", ALU_EVAL.get(op))
+        _set(self, "branch_fn", BRANCH_COND.get(op))
+
+    # The evaluation callables are module-level lambdas and do not
+    # pickle; strip them from the state and rebuild on load.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("alu_fn", None)
+        state.pop("branch_fn", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._precompute()
 
     def _compute_srcs(self) -> Tuple[int, ...]:
         op = self.op
@@ -60,55 +133,16 @@ class Instruction:
             return (self.rs1, self.rs2)  # address base, stored value
         return ()
 
-    # -- structural properties -------------------------------------------
-    @property
-    def is_load(self) -> bool:
-        return self.op is Op.LD
-
-    @property
-    def is_store(self) -> bool:
-        return self.op is Op.ST
-
-    @property
-    def is_mem(self) -> bool:
-        return self.op is Op.LD or self.op is Op.ST
-
-    @property
-    def is_cond_branch(self) -> bool:
-        return self.op in COND_BRANCHES
-
-    @property
-    def is_jump(self) -> bool:
-        return self.op is Op.J
-
-    @property
-    def is_control(self) -> bool:
-        return self.op in COND_BRANCHES or self.op is Op.J
-
-    @property
-    def is_halt(self) -> bool:
-        return self.op is Op.HALT
-
-    @property
-    def writes_reg(self) -> bool:
-        return self.rd is not None
-
-    @property
-    def fu_class(self) -> FUClass:
-        return FU_OF_OP[self.op]
-
-    @property
-    def is_backward_branch(self) -> bool:
-        """True for a conditional branch whose target precedes it.
-
-        The paper's re-convergence heuristic treats backward branches as
-        loop-closing branches.
-        """
-        return self.is_cond_branch and self.target is not None and self.target <= self.pc
-
-    @property
-    def is_forward_branch(self) -> bool:
-        return self.is_cond_branch and self.target is not None and self.target > self.pc
+    # -- structural attributes (set by ``_precompute``) ------------------
+    # ``is_load`` / ``is_store`` / ``is_mem`` / ``is_cond_branch`` /
+    # ``is_jump`` / ``is_control`` / ``is_halt`` / ``writes_reg`` —
+    # structural predicates of the opcode.
+    # ``fu_class`` — the functional-unit class (FU_OF_OP[op]).
+    # ``kind`` — execution-dispatch kind (K_ALU, K_LOAD, ...).
+    # ``is_backward_branch`` — conditional branch whose target precedes
+    # it (the paper's re-convergence heuristic treats these as
+    # loop-closing branches); ``is_forward_branch`` its complement.
+    # ``alu_fn`` / ``branch_fn`` — evaluation callables or None.
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         if self.text:

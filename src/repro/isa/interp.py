@@ -12,7 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from .instructions import NUM_LOGICAL_REGS, Instruction
+from .instructions import (
+    K_ALU,
+    K_BRANCH,
+    K_HALT,
+    K_JUMP,
+    K_LOAD,
+    K_NOP,
+    K_STORE,
+    NUM_LOGICAL_REGS,
+    Instruction,
+)
 from .opcodes import ALU_EVAL, BRANCH_COND, Op
 from .program import Program
 
@@ -67,53 +77,57 @@ def run(
 
     pc = 0
     steps = branches = taken = loads = stores = 0
-    alu_eval = ALU_EVAL
-    br_cond = BRANCH_COND
+    mask64 = (1 << 64) - 1
+    mem_get = memory.get
 
+    # Dispatch on the precomputed per-instruction ``kind`` int and the
+    # resolved ``alu_fn``/``branch_fn`` callables: one attribute read
+    # replaces a chain of dict-membership tests per dynamic instruction.
     while 0 <= pc < ncode:
         if steps >= max_steps:
             raise InterpreterError(
                 f"program {program.name!r} exceeded {max_steps} steps (pc={pc})")
         instr = code[pc]
         steps += 1
-        op = instr.op
+        kind = instr.kind
         next_pc = pc + 1
         result: Optional[int] = None
         eff_addr: Optional[int] = None
 
-        if op in alu_eval:
+        if kind == K_ALU:
             a = regs[instr.rs1] if instr.rs1 is not None else 0
             b = regs[instr.rs2] if instr.rs2 is not None else 0
-            result = alu_eval[op](a, b, instr.imm)
+            result = instr.alu_fn(a, b, instr.imm)
             regs[instr.rd] = result
-        elif op is Op.LD:
-            eff_addr = (regs[instr.rs1] + instr.imm) & ((1 << 64) - 1)
-            result = memory.get(eff_addr, 0)
+        elif kind == K_LOAD:
+            eff_addr = (regs[instr.rs1] + instr.imm) & mask64
+            result = mem_get(eff_addr, 0)
             regs[instr.rd] = result
             loads += 1
-        elif op is Op.ST:
-            eff_addr = (regs[instr.rs1] + instr.imm) & ((1 << 64) - 1)
+        elif kind == K_STORE:
+            eff_addr = (regs[instr.rs1] + instr.imm) & mask64
             memory[eff_addr] = regs[instr.rs2]
             stores += 1
-        elif op in br_cond:
+        elif kind == K_BRANCH:
             a = regs[instr.rs1]
             b = regs[instr.rs2] if instr.rs2 is not None else 0
             branches += 1
-            if br_cond[op](a, b):
+            if instr.branch_fn(a, b):
                 taken += 1
                 next_pc = instr.target
-        elif op is Op.J:
+        elif kind == K_JUMP:
             next_pc = instr.target
-        elif op is Op.HALT:
+        elif kind == K_HALT:
             if trace_hook is not None:
                 trace_hook(pc, instr, None, None)
             return InterpResult(steps=steps, halted=True, regs=regs,
                                 memory=memory, branches=branches, taken=taken,
                                 loads=loads, stores=stores)
-        elif op is Op.NOP:
+        elif kind == K_NOP:
             pass
         else:  # pragma: no cover - defensive
-            raise InterpreterError(f"unimplemented opcode {op!r} at pc={pc}")
+            raise InterpreterError(
+                f"unimplemented opcode {instr.op!r} at pc={pc}")
 
         if trace_hook is not None:
             trace_hook(pc, instr, result, eff_addr)

@@ -1,0 +1,51 @@
+"""Simulation runtime: parallel execution, result caching, profiling.
+
+Three cooperating pieces (see DESIGN.md):
+
+* :class:`ParallelRunner` / :func:`execute_jobs` — fan (kernel, config)
+  simulation jobs out over a process pool, with in-process fallback and
+  worker-side exception capture;
+* :class:`ResultCache` — persistent content-addressed store of
+  ``SimStats`` keyed by program hash + configuration + scale/seed +
+  schema version, with atomic concurrent-safe writes;
+* :func:`profile_kernel` — cProfile harness over one simulation for
+  hot-loop work.
+
+The experiment harness's ``repro.experiments.Runner`` delegates here,
+so every figure, ablation, benchmark and CLI sweep gets the pool and
+the cache for free.
+"""
+
+from .cache import (
+    CACHE_SCHEMA,
+    ResultCache,
+    cache_enabled,
+    config_token,
+    default_cache_dir,
+    job_key,
+    program_fingerprint,
+)
+from .parallel import (
+    ParallelRunner,
+    SimJob,
+    WorkerError,
+    default_jobs,
+    execute_jobs,
+)
+from .profiling import profile_kernel
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ParallelRunner",
+    "ResultCache",
+    "SimJob",
+    "WorkerError",
+    "cache_enabled",
+    "config_token",
+    "default_cache_dir",
+    "default_jobs",
+    "execute_jobs",
+    "job_key",
+    "profile_kernel",
+    "program_fingerprint",
+]

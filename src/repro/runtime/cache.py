@@ -1,0 +1,160 @@
+"""Persistent, content-addressed simulation-result cache.
+
+One simulation = one JSON file under the cache root, named by a SHA-256
+over everything that determines its outcome:
+
+* a cache-schema version (bump ``CACHE_SCHEMA`` whenever the *timing
+  model* changes behaviour — workload and configuration changes are
+  captured by the key itself),
+* the program fingerprint (instruction stream + initial data image),
+* the full ``ProcessorConfig`` (every field, nested caches included),
+* the workload ``scale`` and ``seed``.
+
+Layout: ``<root>/<first-2-hex>/<key>.json`` — two-level sharding keeps
+directory listings small on big sweeps.  Writes go to a temporary file
+in the same directory followed by an atomic rename, so concurrent
+worker processes (or concurrent sessions) never observe a torn entry.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` — cache root (default ``$XDG_CACHE_HOME/repro-sim``
+  or ``~/.cache/repro-sim``).
+* ``REPRO_CACHE=0`` — disable reads and writes entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from ..isa import Program
+from ..uarch import ProcessorConfig, SimStats
+
+#: bump when the timing model's behaviour changes (invalidates all entries)
+CACHE_SCHEMA = 1
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(xdg, "repro-sim")
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1").lower() not in ("0", "off", "no")
+
+
+def config_token(cfg: ProcessorConfig) -> str:
+    """Canonical string form of a configuration (every field, sorted)."""
+    return json.dumps(dataclasses.asdict(cfg), sort_keys=True, default=str)
+
+
+def program_fingerprint(program: Program) -> str:
+    """SHA-256 over the instruction stream and the initial data image.
+
+    Cached on the program object: figures re-run the same kernels under
+    dozens of configurations.
+    """
+    cached = getattr(program, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    for instr in program.code:
+        h.update(repr((int(instr.op), instr.rd, instr.rs1, instr.rs2,
+                       instr.imm, instr.target, instr.pc)).encode())
+    for addr in sorted(program.data_init):
+        h.update(repr((addr, program.data_init[addr])).encode())
+    digest = h.hexdigest()
+    program._fingerprint = digest
+    return digest
+
+
+def job_key(program: Program, cfg: ProcessorConfig,
+            scale: float, seed: int) -> str:
+    """Content-addressed cache key for one (program, config) simulation."""
+    h = hashlib.sha256()
+    h.update(f"schema={CACHE_SCHEMA}\n".encode())
+    h.update(program_fingerprint(program).encode())
+    h.update(config_token(cfg).encode())
+    h.update(f"\nscale={scale!r} seed={seed!r}".encode())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """On-disk ``SimStats`` store with atomic writes.
+
+    A ``ResultCache`` is cheap to construct; the root directory is only
+    created on the first write.
+    """
+
+    def __init__(self, root: Optional[str] = None,
+                 enabled: Optional[bool] = None):
+        self.root = root or default_cache_dir()
+        self.enabled = cache_enabled() if enabled is None else enabled
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[SimStats]:
+        """The cached stats for ``key``, or None (miss / disabled / corrupt)."""
+        if not self.enabled:
+            return None
+        try:
+            with open(self.path_for(key)) as fh:
+                return SimStats.from_dict(json.load(fh))
+        except (OSError, ValueError, TypeError):
+            return None
+
+    def put(self, key: str, stats: SimStats) -> None:
+        """Store ``stats`` under ``key`` (write-to-temp + atomic rename)."""
+        if not self.enabled:
+            return
+        path = self.path_for(key)
+        shard = os.path.dirname(path)
+        try:
+            os.makedirs(shard, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(stats.to_dict(), fh, separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass  # a read-only or full cache never fails the simulation
+
+    def info(self) -> Dict[str, object]:
+        """Entry count and footprint (for ``repro cache info``)."""
+        entries = 0
+        size = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith(".json"):
+                    entries += 1
+                    try:
+                        size += os.path.getsize(os.path.join(dirpath, name))
+                    except OSError:
+                        pass
+        return {"root": self.root, "enabled": self.enabled,
+                "entries": entries, "bytes": size}
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith(".json") or name.endswith(".tmp"):
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed

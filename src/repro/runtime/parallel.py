@@ -1,0 +1,191 @@
+"""Parallel simulation executor and the memoising/caching runner.
+
+The experiment grid is embarrassingly parallel across (kernel, config)
+points, so ``ParallelRunner`` fans simulation jobs out over a
+``ProcessPoolExecutor``:
+
+* ``jobs`` comes from the constructor, else ``REPRO_JOBS``, else
+  ``os.cpu_count()``;
+* ``jobs == 1`` (or a single-job batch, or a platform without working
+  multiprocessing) falls back to plain in-process execution;
+* workers capture exceptions and ship the traceback back as data, so a
+  failed simulation surfaces as one clean ``WorkerError`` instead of a
+  hung or poisoned pool.
+
+Results are shared at three levels: an in-process memo (same object
+returned for repeat queries, which downstream code relies on), the
+persistent on-disk :class:`~repro.runtime.cache.ResultCache`, and the
+pool itself (duplicate jobs within one batch are submitted once).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..uarch import ProcessorConfig, SimStats
+from .cache import ResultCache, job_key
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation work item: a suite kernel under one configuration."""
+
+    kernel: str
+    scale: float
+    seed: int
+    cfg: ProcessorConfig
+
+
+class WorkerError(RuntimeError):
+    """A simulation failed inside a worker process."""
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else the machine's cores."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _run_job(job: SimJob) -> Tuple[Optional[dict], Optional[str]]:
+    """Worker entry point: returns (stats dict, error traceback).
+
+    Module-level so it pickles under both fork and spawn start methods;
+    imports stay inside so a spawned worker re-resolves the package.
+    """
+    try:
+        from .. import run_program
+        from ..workloads import build_program
+        prog = build_program(job.kernel, job.scale, job.seed)
+        return run_program(prog, job.cfg).to_dict(), None
+    except Exception:
+        return None, traceback.format_exc()
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the loaded package); fall back."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def execute_jobs(jobs: Sequence[SimJob],
+                 n_workers: Optional[int] = None) -> List[SimStats]:
+    """Run ``jobs`` (possibly in parallel), preserving order.
+
+    Raises :class:`WorkerError` carrying the remote traceback if any
+    job failed; the pool itself is never left hanging.
+    """
+    n = default_jobs() if n_workers is None else max(1, n_workers)
+    results: List[Tuple[Optional[dict], Optional[str]]]
+    if n <= 1 or len(jobs) <= 1:
+        results = [_run_job(j) for j in jobs]
+    else:
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(n, len(jobs)),
+                    mp_context=_pool_context()) as pool:
+                results = list(pool.map(_run_job, jobs))
+        except (OSError, ImportError):  # no usable multiprocessing
+            results = [_run_job(j) for j in jobs]
+    out: List[SimStats] = []
+    for job, (payload, err) in zip(jobs, results):
+        if err is not None:
+            raise WorkerError(
+                f"simulation of {job.kernel!r} (scale={job.scale}, "
+                f"seed={job.seed}) failed in worker:\n{err}")
+        out.append(SimStats.from_dict(payload))
+    return out
+
+
+class ParallelRunner:
+    """Memoising simulation runner with a worker pool and a disk cache.
+
+    The resolution order for one (kernel, config) point is: in-process
+    memo, then the persistent disk cache, then simulation (fanned out
+    over the pool when a batch has more than one miss and ``jobs > 1``).
+    ``memo_hits`` / ``disk_hits`` / ``sims_run`` count those outcomes so
+    callers can report "zero new simulations" on a warm cache.
+    """
+
+    def __init__(self, scale: float, seed: int,
+                 jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None):
+        self.scale = scale
+        self.seed = seed
+        self.jobs = default_jobs() if jobs is None else max(1, jobs)
+        self.cache = ResultCache() if cache is None else cache
+        self._memo: Dict[tuple, SimStats] = {}
+        self._programs: Dict[str, object] = {}
+        self._disk_keys: Dict[tuple, str] = {}
+        self.memo_hits = 0
+        self.disk_hits = 0
+        self.sims_run = 0
+
+    # -- programs --------------------------------------------------------
+    def program(self, name: str):
+        prog = self._programs.get(name)
+        if prog is None:
+            from ..workloads import build_program
+            prog = self._programs[name] = build_program(name, self.scale,
+                                                        self.seed)
+        return prog
+
+    def _key(self, name: str, cfg: ProcessorConfig) -> str:
+        memo_key = (name, cfg)
+        key = self._disk_keys.get(memo_key)
+        if key is None:
+            key = self._disk_keys[memo_key] = job_key(
+                self.program(name), cfg, self.scale, self.seed)
+        return key
+
+    # -- execution -------------------------------------------------------
+    def run(self, name: str, cfg: ProcessorConfig) -> SimStats:
+        return self.run_many([(name, cfg)])[0]
+
+    def run_many(self, points: Sequence[Tuple[str, ProcessorConfig]]
+                 ) -> List[SimStats]:
+        """Resolve a batch of (kernel, config) points, order-preserving."""
+        resolved: Dict[tuple, SimStats] = {}
+        pending: List[tuple] = []
+        for name, cfg in points:
+            memo_key = (name, cfg)
+            if memo_key in resolved or memo_key in pending:
+                continue
+            st = self._memo.get(memo_key)
+            if st is not None:
+                self.memo_hits += 1
+                resolved[memo_key] = st
+                continue
+            st = self.cache.get(self._key(name, cfg))
+            if st is not None:
+                self.disk_hits += 1
+                self._memo[memo_key] = resolved[memo_key] = st
+                continue
+            pending.append(memo_key)
+        if pending:
+            sim_jobs = [SimJob(name, self.scale, self.seed, cfg)
+                        for name, cfg in pending]
+            stats = execute_jobs(sim_jobs, self.jobs)
+            self.sims_run += len(sim_jobs)
+            for memo_key, st in zip(pending, stats):
+                self._memo[memo_key] = resolved[memo_key] = st
+                self.cache.put(self._key(*memo_key), st)
+        return [resolved[(name, cfg)] for name, cfg in points]
+
+    # -- reporting -------------------------------------------------------
+    def runtime_summary(self) -> str:
+        """One-line accounting of where results came from."""
+        return (f"runtime: {self.sims_run} simulation(s) run "
+                f"({self.jobs} worker(s)), {self.disk_hits} disk-cache "
+                f"hit(s), {self.memo_hits} memo hit(s)")

@@ -18,8 +18,6 @@ from collections import deque
 from typing import Deque, Dict, List, Optional
 
 from ..isa import (
-    ALU_EVAL,
-    BRANCH_COND,
     MASK64,
     FUClass,
     FU_LATENCY,
@@ -28,6 +26,7 @@ from ..isa import (
     Op,
     Program,
 )
+from ..isa.instructions import K_ALU, K_BRANCH, K_JUMP, K_LOAD, K_STORE
 from .bpred import make_predictor
 from .caches import MemoryHierarchy
 from .config import ProcessorConfig
@@ -84,7 +83,12 @@ class Hooks:
 
 
 class PortState:
-    """Per-cycle L1 data-cache port arbitration, including wide buses."""
+    """Per-cycle L1 data-cache port arbitration, including wide buses.
+
+    One instance lives for the whole simulation and is ``reset()`` each
+    cycle — allocating a fresh object (and its ``open_lines`` dict) per
+    cycle showed up in profiles of long runs.
+    """
 
     def __init__(self, cfg: ProcessorConfig, stats: SimStats,
                  hierarchy: MemoryHierarchy):
@@ -93,6 +97,12 @@ class PortState:
         self.hierarchy = hierarchy
         self.ports_left = cfg.l1d_ports
         self.open_lines: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        """Start a new cycle: full port budget, no open wide-bus lines."""
+        self.ports_left = self.cfg.l1d_ports
+        if self.open_lines:
+            self.open_lines.clear()
 
     def can_load(self, line: int) -> bool:
         if self.cfg.wide_bus and self.open_lines.get(line, 0) > 0:
@@ -154,6 +164,7 @@ class Core:
         self.hooks = hooks or Hooks()
         self.hooks.attach(self)
         self._last_progress_cycle = 0
+        self._ports = PortState(cfg, self.stats, self.hierarchy)
 
     # ------------------------------------------------------------------
     # Public driver.
@@ -161,30 +172,39 @@ class Core:
     def run(self, max_instructions: Optional[int] = None) -> SimStats:
         """Simulate until the program halts (or limits trip)."""
         max_insn = max_instructions or (1 << 62)
+        # Hoisted hot locals: each name below is read every cycle.
+        stats = self.stats
+        fetch = self.fetch
+        hooks = self.hooks
+        fu = self.fu
+        ports = self._ports
+        freelist = self.freelist
+        max_cycles = self.cfg.max_cycles
+        interval = stats.interval_cycles
         while not self.halted:
-            self.cycle += 1
-            self.stats.cycles = self.cycle
-            if self.cycle > self.cfg.max_cycles:
+            cycle = self.cycle = self.cycle + 1
+            stats.cycles = cycle
+            if cycle > max_cycles:
                 raise SimulationError(
-                    f"{self.program.name}: exceeded {self.cfg.max_cycles} cycles")
-            if self.cycle - self._last_progress_cycle > 20_000:
+                    f"{self.program.name}: exceeded {max_cycles} cycles")
+            if cycle - self._last_progress_cycle > 20_000:
                 raise SimulationError(
                     f"{self.program.name}: no commit for 20k cycles at "
-                    f"cycle {self.cycle} (head={self.window[0] if self.window else None})")
-            self.fu.reset()
-            ports = PortState(self.cfg, self.stats, self.hierarchy)
+                    f"cycle {cycle} (head={self.window[0] if self.window else None})")
+            fu.reset()
+            ports.reset()
             self._commit(ports)
-            if self.halted or self.stats.committed >= max_insn:
+            if self.halted or stats.committed >= max_insn:
                 break
             self._writeback()
             leftover = self._issue(ports)
             self._dispatch()
-            self.stats.fetched += self.fetch.fetch_cycle(self.cycle)
-            self.hooks.on_cycle(leftover, ports)
-            self.stats.record_reg_usage(self.freelist.in_use)
-            if self.cycle % self.stats.interval_cycles == 0:
-                self.stats.record_interval()
-            if (not self.window and self.fetch.empty and not self.completion):
+            stats.fetched += fetch.fetch_cycle(cycle)
+            hooks.on_cycle(leftover, ports)
+            stats.record_reg_usage(freelist.in_use)
+            if cycle % interval == 0:
+                stats.record_interval()
+            if (not self.window and fetch.empty and not self.completion):
                 break  # fell off the end of the program
         self.stats.stridedpc_assignments = self.rename.assign_count
         self.stats.stridedpc_sum = self.rename.assign_sum
@@ -367,26 +387,29 @@ class Core:
         cfg = self.cfg
         if not self.hooks.dispatch_gate():
             return
+        window = self.window
+        queue = self.fetch.queue
+        cycle = self.cycle
+        window_size = cfg.window_size
+        lsq_size = cfg.lsq_size
         for _ in range(cfg.issue_width):
-            if len(self.window) >= cfg.window_size:
+            if len(window) >= window_size:
                 break
-            queue = self.fetch.queue
-            if not queue or queue[0][0] > self.cycle:
+            if not queue or queue[0][0] > cycle:
                 break
             instr = queue[0][1].instr
-            if instr.is_mem and self.lsq_count >= cfg.lsq_size:
+            if instr.is_mem and self.lsq_count >= lsq_size:
                 break
             if instr.writes_reg and not self.freelist.alloc(1):
                 self.stats.rename_stall_cycles += 1
                 break
-            inst = self.fetch.pop_ready(self.cycle)
-            assert inst is not None
+            inst = queue.popleft()[1]
             if instr.writes_reg:
                 inst.reg_allocated = True
             self._execute_functional(inst)
             self._rename_and_schedule(inst)
             self.stats.dispatched += 1
-            self.window.append(inst)
+            window.append(inst)
             self.hooks.on_dispatch(inst)
             if inst.validated and not inst.issued:
                 # Replica reuse: skip execution.  The instruction may reach
@@ -402,32 +425,32 @@ class Core:
 
     def _execute_functional(self, inst: DynInst) -> None:
         instr = inst.instr
-        op = instr.op
+        kind = instr.kind
         sregs = self.sregs
-        if op in ALU_EVAL:
+        if kind == K_ALU:
             a = sregs[instr.rs1] if instr.rs1 is not None else 0
             b = sregs[instr.rs2] if instr.rs2 is not None else 0
             inst.sreg_old = sregs[instr.rd]
-            inst.result = ALU_EVAL[op](a, b, instr.imm)
+            inst.result = instr.alu_fn(a, b, instr.imm)
             sregs[instr.rd] = inst.result
-        elif op is Op.LD:
+        elif kind == K_LOAD:
             addr = (sregs[instr.rs1] + instr.imm) & MASK64
             inst.eff_addr = addr
             inst.sreg_old = sregs[instr.rd]
             inst.result = self.mem.get(addr, 0)
             sregs[instr.rd] = inst.result
-        elif op is Op.ST:
+        elif kind == K_STORE:
             addr = (sregs[instr.rs1] + instr.imm) & MASK64
             inst.eff_addr = addr
             inst.mem_old = self.mem.get(addr, MEM_ABSENT)
             inst.result = sregs[instr.rs2]
             self.mem[addr] = inst.result
-        elif op in BRANCH_COND:
+        elif kind == K_BRANCH:
             a = sregs[instr.rs1]
             b = sregs[instr.rs2] if instr.rs2 is not None else 0
-            inst.actual_taken = BRANCH_COND[op](a, b)
+            inst.actual_taken = instr.branch_fn(a, b)
             inst.actual_next_pc = instr.target if inst.actual_taken else instr.pc + 1
-        elif op is Op.J:
+        elif kind == K_JUMP:
             inst.actual_next_pc = instr.target
 
     def _rename_and_schedule(self, inst: DynInst) -> None:
@@ -463,7 +486,7 @@ class Core:
         inst.dispatch_cycle = self.cycle
         # Schedule.
         op = instr.op
-        if op is Op.NOP or op is Op.HALT or op is Op.J:
+        if op is Op.NOP or op is Op.HALT or instr.kind == K_JUMP:
             inst.issued = True
             inst.done_cycle = self.cycle + 1
             heapq.heappush(self.completion, (inst.done_cycle, inst.seq, inst))

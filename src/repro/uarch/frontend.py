@@ -23,6 +23,11 @@ class FetchUnit:
         self.cfg = cfg
         self.program = program
         self.bpred = bpred
+        # Hoisted config scalars (read every fetch cycle).
+        self._fetch_width = cfg.fetch_width
+        self._queue_size = cfg.fetch_queue_size
+        self._depth = cfg.frontend_depth
+        self._max_taken = cfg.max_taken_per_fetch
         self.pc = 0
         self.queue: Deque[Tuple[int, DynInst]] = deque()  # (ready_at, inst)
         self.stalled = False      # ran past code / fetched HALT
@@ -48,24 +53,28 @@ class FetchUnit:
         if self.stalled:
             return 0
         code = self.program.code
+        ncode = len(code)
+        queue = self.queue
+        bpred = self.bpred
+        pc = self.pc
+        seq = self.next_seq
         fetched = 0
         taken_seen = 0
-        room = self.cfg.fetch_queue_size - len(self.queue)
-        limit = min(self.cfg.fetch_width, room)
-        ready_at = cycle + self.cfg.frontend_depth
+        limit = min(self._fetch_width, self._queue_size - len(queue))
+        ready_at = cycle + self._depth
         while fetched < limit:
-            if not (0 <= self.pc < len(code)):
+            if not 0 <= pc < ncode:
                 self.stalled = True
                 break
-            instr = code[self.pc]
-            di = DynInst(self.next_seq, instr)
-            self.next_seq += 1
-            next_pc = self.pc + 1
+            instr = code[pc]
+            di = DynInst(seq, instr)
+            seq += 1
+            next_pc = pc + 1
             if instr.is_cond_branch:
-                di.bp_history = self.bpred.checkpoint()
-                di.pred_taken = self.bpred.predict(
-                    self.pc, backward=instr.is_backward_branch)
-                self.bpred.speculate(di.pred_taken)
+                di.bp_history = bpred.checkpoint()
+                di.pred_taken = bpred.predict(
+                    pc, backward=instr.is_backward_branch)
+                bpred.speculate(di.pred_taken)
                 if di.pred_taken:
                     next_pc = instr.target
                     taken_seen += 1
@@ -74,14 +83,16 @@ class FetchUnit:
                 next_pc = instr.target
                 di.pred_next_pc = next_pc
                 taken_seen += 1
-            self.queue.append((ready_at, di))
+            queue.append((ready_at, di))
             fetched += 1
-            self.pc = next_pc
+            pc = next_pc
             if instr.is_halt:
                 self.stalled = True
                 break
-            if taken_seen >= self.cfg.max_taken_per_fetch:
+            if taken_seen >= self._max_taken:
                 break
+        self.pc = pc
+        self.next_seq = seq
         return fetched
 
     def pop_ready(self, cycle: int) -> Optional[DynInst]:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -129,3 +129,26 @@ class SimStats:
         d["avg_stridedpcs"] = self.avg_stridedpcs
         d["reuse_fraction"] = self.reuse_fraction
         return d
+
+    # ------------------------------------------------------------------
+    # Lossless round-trip, used by the persistent result cache and for
+    # shipping results back from simulation worker processes.  Unlike
+    # ``as_dict`` (which mixes in derived rates for reporting), these
+    # carry exactly the dataclass fields.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form holding every field (JSON-serialisable)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimStats":
+        """Rebuild a ``SimStats`` from ``to_dict`` output.
+
+        Unknown keys are ignored so caches written by a newer schema
+        degrade gracefully; missing keys keep their defaults.
+        """
+        names = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in names}
+        if "interval_committed" in kwargs:
+            kwargs["interval_committed"] = list(kwargs["interval_committed"])
+        return cls(**kwargs)

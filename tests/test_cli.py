@@ -81,3 +81,38 @@ class TestCommands:
         monkeypatch.setenv("REPRO_SCALE", "0.2")
         rc, out = run_cli(capsys, "figure", "5", "--scale", "0.2")
         assert rc == 0 and "Figure 5" in out
+
+
+class TestRuntimeCommands:
+    def test_cache_info(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        rc, out = run_cli(capsys, "cache", "info")
+        assert rc == 0
+        assert "cache root" in out and "entries    : 0" in out
+
+    def test_cache_clear(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        rc, out = run_cli(capsys, "cache", "clear")
+        assert rc == 0 and "removed 0" in out
+
+    def test_suite_populates_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        rc, out = run_cli(capsys, "suite", "--scheme", "wb",
+                          "--scale", "0.1", "--jobs", "1")
+        assert rc == 0 and "INT(hmean)" in out
+        rc, out = run_cli(capsys, "cache", "info")
+        assert "entries    : 12" in out
+
+    def test_suite_jobs_flag_parses(self):
+        args = build_parser().parse_args(["suite", "--jobs", "3"])
+        assert args.jobs == 3
+        args = build_parser().parse_args(["figure", "fig09", "--jobs", "2"])
+        assert args.jobs == 2
+        args = build_parser().parse_args(["ablation", "mbs"])
+        assert args.jobs is None
+
+    def test_profile_command(self, capsys):
+        rc, out = run_cli(capsys, "profile", "eon", "--scale", "0.1",
+                          "--limit", "5")
+        assert rc == 0
+        assert "committed" in out and "cumtime" in out

@@ -1,0 +1,178 @@
+"""Tests for the simulation runtime: pool, disk cache, determinism."""
+
+import os
+
+import pytest
+
+from repro import run_kernel
+from repro.runtime import (
+    ResultCache,
+    SimJob,
+    WorkerError,
+    config_token,
+    default_jobs,
+    execute_jobs,
+    job_key,
+    program_fingerprint,
+)
+from repro.runtime.parallel import ParallelRunner
+from repro.uarch import SimStats
+from repro.uarch.config import ci, scal, wb
+from repro.workloads import build_program
+
+SCALE = 0.1
+SEED = 1
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=str(tmp_path / "cache"), enabled=True)
+
+
+def make_runner(cache, jobs=1, scale=SCALE):
+    return ParallelRunner(scale=scale, seed=SEED, jobs=jobs, cache=cache)
+
+
+class TestCacheKeys:
+    def test_fingerprint_stable_across_builds(self):
+        a = build_program("eon", SCALE, SEED)
+        b = build_program("eon", SCALE, SEED)
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_fingerprint_sensitive_to_workload(self):
+        a = build_program("eon", SCALE, SEED)
+        b = build_program("eon", SCALE, SEED + 1)
+        c = build_program("gzip", SCALE, SEED)
+        assert program_fingerprint(a) != program_fingerprint(b)
+        assert program_fingerprint(a) != program_fingerprint(c)
+
+    def test_config_token_covers_every_field(self):
+        assert config_token(ci(1, 512)) != config_token(ci(2, 512))
+        assert config_token(ci(1, 512)) != config_token(
+            ci(1, 512, policy="vect"))
+
+    def test_job_key_varies_with_scale_and_seed(self):
+        prog = build_program("eon", SCALE, SEED)
+        cfg = wb(1, 256)
+        assert job_key(prog, cfg, 0.1, 1) != job_key(prog, cfg, 0.2, 1)
+        assert job_key(prog, cfg, 0.1, 1) != job_key(prog, cfg, 0.1, 2)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, cache):
+        st = SimStats(cycles=10, committed=7)
+        assert cache.get("ab" * 32) is None
+        cache.put("ab" * 32, st)
+        assert cache.get("ab" * 32) == st
+
+    def test_disabled_cache_is_inert(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "c"), enabled=False)
+        cache.put("cd" * 32, SimStats(cycles=1))
+        assert cache.get("cd" * 32) is None
+        assert not os.path.exists(cache.root)
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        key = "ef" * 32
+        path = cache.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        assert cache.get(key) is None
+
+    def test_info_and_clear(self, cache):
+        for i in range(3):
+            cache.put(f"{i:02d}" + "0" * 62, SimStats(cycles=i + 1))
+        info = cache.info()
+        assert info["entries"] == 3 and info["bytes"] > 0
+        assert cache.clear() == 3
+        assert cache.info()["entries"] == 0
+
+    def test_no_tmp_files_left_behind(self, cache):
+        cache.put("aa" + "0" * 62, SimStats(cycles=5))
+        leftovers = [n for _, _, names in os.walk(cache.root)
+                     for n in names if n.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestExecuteJobs:
+    def test_serial_path(self):
+        [st] = execute_jobs([SimJob("eon", SCALE, SEED, wb(1, 256))], 1)
+        assert st.committed > 0
+
+    def test_pool_path(self):
+        jobs = [SimJob("eon", SCALE, SEED, wb(1, 256)),
+                SimJob("gzip", SCALE, SEED, wb(1, 256))]
+        stats = execute_jobs(jobs, 2)
+        assert len(stats) == 2 and all(s.committed > 0 for s in stats)
+
+    def test_worker_failure_reports_cleanly(self):
+        jobs = [SimJob("eon", SCALE, SEED, wb(1, 256)),
+                SimJob("nosuchkernel", SCALE, SEED, wb(1, 256))]
+        with pytest.raises(WorkerError, match="nosuchkernel"):
+            execute_jobs(jobs, 2)
+
+    def test_default_jobs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert default_jobs() == 7
+        monkeypatch.setenv("REPRO_JOBS", "junk")
+        assert default_jobs() >= 1
+
+
+class TestParallelRunner:
+    def test_memo_returns_same_object(self, cache):
+        r = make_runner(cache)
+        cfg = wb(1, 256)
+        assert r.run("eon", cfg) is r.run("eon", cfg)
+        assert r.memo_hits == 1 and r.sims_run == 1
+
+    def test_warm_disk_cache_runs_zero_simulations(self, cache):
+        cfg = ci(1, 512)
+        first = make_runner(cache)
+        a = first.run("eon", cfg)
+        assert first.sims_run == 1
+        second = make_runner(cache)  # fresh process-level state
+        b = second.run("eon", cfg)
+        assert second.sims_run == 0 and second.disk_hits == 1
+        assert a == b
+
+    def test_batch_dedupes_repeated_points(self, cache):
+        r = make_runner(cache)
+        cfg = wb(1, 256)
+        out = r.run_many([("eon", cfg), ("eon", cfg), ("eon", cfg)])
+        assert r.sims_run == 1
+        assert out[0] is out[1] is out[2]
+
+    def test_runtime_summary_mentions_counts(self, cache):
+        r = make_runner(cache)
+        r.run("eon", wb(1, 256))
+        assert "1 simulation(s)" in r.runtime_summary()
+
+
+class TestDeterminism:
+    """Same (kernel, config, seed) must agree serially, via the pool,
+    and via a cache hit — byte-identical counters (IPC, cycles, ...)."""
+
+    CFG = ci(1, 512)
+
+    def test_serial_pool_and_cache_agree(self, tmp_path):
+        serial = run_kernel("eon", self.CFG, scale=SCALE, seed=SEED)
+
+        nocache = ResultCache(root=str(tmp_path / "c1"), enabled=True)
+        pooled = make_runner(nocache, jobs=2)
+        via_pool = pooled.run_many([("eon", self.CFG), ("gzip", self.CFG)])[0]
+        assert pooled.sims_run == 2
+
+        rehydrated = make_runner(nocache).run("eon", self.CFG)
+
+        assert serial.to_dict() == via_pool.to_dict() == rehydrated.to_dict()
+        assert serial.ipc == via_pool.ipc == rehydrated.ipc
+        assert serial.cycles == via_pool.cycles == rehydrated.cycles
+        assert serial.committed == via_pool.committed == rehydrated.committed
+
+    def test_scal_scheme_agrees_too(self, tmp_path):
+        cfg = scal(1, 256)
+        serial = run_kernel("gzip", cfg, scale=SCALE, seed=SEED)
+        cache = ResultCache(root=str(tmp_path / "c2"), enabled=True)
+        pooled = make_runner(cache, jobs=2).run_many(
+            [("gzip", cfg), ("eon", cfg)])[0]
+        assert serial.to_dict() == pooled.to_dict()

@@ -1,0 +1,78 @@
+"""SimStats to_dict/from_dict round-trip (cache + cross-process format)."""
+
+import json
+
+from repro.uarch import SimStats
+
+
+def populated_stats() -> SimStats:
+    st = SimStats()
+    st.cycles = 1234
+    st.fetched = 9000
+    st.dispatched = 8000
+    st.committed = 5000
+    st.committed_reused = 700
+    st.squashed = 2100
+    st.cond_branches = 900
+    st.mispredicts = 80
+    st.mispredicts_hard = 33
+    st.ci_events = 30
+    st.replicas_created = 120
+    st.l1d_accesses = 2500
+    st.regs_in_use_samples = 1234
+    st.regs_in_use_sum = 98765
+    st.regs_in_use_peak = 180
+    st.interval_committed = [100, 900, 2300, 5000]
+    return st
+
+
+class TestRoundTrip:
+    def test_identity(self):
+        st = populated_stats()
+        again = SimStats.from_dict(st.to_dict())
+        assert again == st
+        assert again is not st
+
+    def test_every_field_survives(self):
+        st = populated_stats()
+        d = st.to_dict()
+        again = SimStats.from_dict(d)
+        assert again.to_dict() == d
+
+    def test_json_safe(self):
+        """The dict form must survive JSON (what the disk cache stores)."""
+        st = populated_stats()
+        again = SimStats.from_dict(json.loads(json.dumps(st.to_dict())))
+        assert again == st
+
+    def test_derived_properties_preserved(self):
+        st = populated_stats()
+        again = SimStats.from_dict(st.to_dict())
+        assert again.ipc == st.ipc
+        assert again.mispredict_rate == st.mispredict_rate
+        assert again.avg_regs_in_use == st.avg_regs_in_use
+        assert again.interval_ipc == st.interval_ipc
+
+    def test_interval_list_is_copied(self):
+        st = populated_stats()
+        d = st.to_dict()
+        again = SimStats.from_dict(d)
+        again.interval_committed.append(99)
+        assert d["interval_committed"][-1] != 99 or \
+            len(d["interval_committed"]) != len(again.interval_committed)
+
+    def test_unknown_keys_ignored(self):
+        d = populated_stats().to_dict()
+        d["a_future_counter"] = 42
+        again = SimStats.from_dict(d)
+        assert not hasattr(again, "a_future_counter")
+
+    def test_missing_keys_default(self):
+        st = SimStats.from_dict({"cycles": 10, "committed": 5})
+        assert st.cycles == 10 and st.committed == 5
+        assert st.mispredicts == 0 and st.interval_committed == []
+
+    def test_to_dict_excludes_derived(self):
+        """to_dict is the lossless field form, unlike reporting as_dict."""
+        d = populated_stats().to_dict()
+        assert "ipc" not in d and "reuse_fraction" not in d
