@@ -1,20 +1,27 @@
 #!/usr/bin/env python3
-"""Trace-driven anatomy of a kernel: why the mechanism helps where it does.
+"""Anatomy of a kernel: why the mechanism helps where it does.
 
-Uses the trace front end (no timing simulation) to show, per kernel:
+Two passes over each kernel:
 
-* which static branches are hard to predict (what the MBS filters for),
-* which loads are strided (what the stride predictor finds),
-* whether the static re-convergence heuristic's estimates are actually
-  reached at run time.
+1. **Static / trace-driven** (no timing): which branches are hard to
+   predict, which loads are strided, and whether the static
+   re-convergence estimates are reached at run time.
+2. **Observed timing simulation**: the real per-branch audit trail from
+   the observability subsystem — for every hard mispredicted branch the
+   mechanism examined, the dominant reuse-blocking reason
+   (reused / validation-fail / SRSMT-alloc-fail / no-strided-slice /
+   no-CI-found / ...), plus the CPI stack showing where the cycles went.
 
-Run:  python examples/branch_anatomy.py [kernel ...]
+Run:  python examples/branch_anatomy.py [--scale S] [kernel ...]
 """
 
-import sys
+import argparse
 
+from repro import run_program
 from repro.ci import estimate_reconvergent_point
+from repro.observe import AuditTrail, CPIStack, MultiObserver
 from repro.trace import check_reconvergence, collect_trace, profile_trace
+from repro.uarch import ci
 from repro.workloads import build_program, kernel_names
 
 
@@ -57,14 +64,33 @@ def analyse(name: str, scale: float = 0.5) -> None:
         print("  -> branches are predictable (eon-like): the MBS filters "
               "them out and the mechanism stays quiet")
 
+    # Second pass: what actually happened in the timing simulation.
+    observer = MultiObserver([CPIStack(), AuditTrail()])
+    stats = run_program(prog, ci(1, 512), observer=observer)
+    audit = observer.children[1]
+    print(f"\nobserved under ci(1 port, 512 regs): "
+          f"IPC {stats.ipc:.3f}, reuse {stats.reuse_fraction:.1%}, "
+          f"{stats.ci_events} CI events")
+    reasons = audit.hard_branch_reasons()
+    if reasons:
+        for pc, reason in sorted(reasons.items()):
+            print(f"  branch {pc:3d} ({prog.code[pc].text:>20s}): {reason}")
+    else:
+        print("  no hard mispredicted branches reached the mechanism")
+    print()
+    print(observer.render())
+
 
 def main() -> None:
-    names = sys.argv[1:] or ["bzip2", "mcf", "eon"]
-    for name in names:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("kernels", nargs="*", default=["bzip2", "mcf", "eon"])
+    ap.add_argument("--scale", type=float, default=0.5)
+    args = ap.parse_args()
+    for name in args.kernels:
         if name not in kernel_names():
             raise SystemExit(f"unknown kernel {name!r}; "
                              f"choose from {kernel_names()}")
-        analyse(name)
+        analyse(name, scale=args.scale)
 
 
 if __name__ == "__main__":

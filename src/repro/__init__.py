@@ -12,10 +12,11 @@ See README.md for the full walkthrough and DESIGN.md for the system map.
 
 from typing import Optional
 
-from . import isa, trace, uarch, workloads
+from . import isa, observe, trace, uarch, workloads
 from . import runtime
 from .ci import CIEngine
 from .isa import Program, assemble
+from .observe import Observer
 from .uarch import Core, Hooks, ProcessorConfig, SimStats, simulate
 from .uarch import config as configs
 from .workloads import build_program, build_suite, kernel_names
@@ -29,19 +30,21 @@ def hooks_for(cfg: ProcessorConfig) -> Optional[Hooks]:
 
 
 def run_program(program: Program, cfg: Optional[ProcessorConfig] = None,
-                max_instructions: Optional[int] = None) -> SimStats:
+                max_instructions: Optional[int] = None,
+                observer: Optional[Observer] = None) -> SimStats:
     """Simulate ``program`` under ``cfg`` with the right mechanism attached."""
     cfg = cfg or ProcessorConfig()
     return simulate(program, cfg, hooks=hooks_for(cfg),
-                    max_instructions=max_instructions)
+                    max_instructions=max_instructions, observer=observer)
 
 
 def run_kernel(name: str, cfg: Optional[ProcessorConfig] = None,
                scale: float = 1.0, seed: int = 1,
-               max_instructions: Optional[int] = None) -> SimStats:
+               max_instructions: Optional[int] = None,
+               observer: Optional[Observer] = None) -> SimStats:
     """Build one suite kernel and simulate it under ``cfg``."""
     return run_program(build_program(name, scale, seed), cfg,
-                       max_instructions=max_instructions)
+                       max_instructions=max_instructions, observer=observer)
 
 
 __all__ = [
@@ -58,6 +61,8 @@ __all__ = [
     "hooks_for",
     "isa",
     "kernel_names",
+    "observe",
+    "Observer",
     "run_kernel",
     "run_program",
     "runtime",

@@ -41,10 +41,12 @@ class CIEngine(Hooks):
 
     def __init__(self) -> None:
         self.core: Optional[Core] = None
+        self.obs = None
 
     # ------------------------------------------------------------------
     def attach(self, core: Core) -> None:
         self.core = core
+        self.obs = getattr(core, "_obs", None)
         cfg = core.cfg
         self.cfg = cfg
         self.policy = cfg.ci_policy
@@ -149,6 +151,10 @@ class CIEngine(Hooks):
                     inst.validated = True
                     self.stats.replica_validations += 1
                     self._credit_reuse(rec.event)
+                    if self.obs is not None:
+                        self.obs.on_validation(inst.pc, rec.event, True,
+                                               "squash-reuse",
+                                               self.core.cycle)
             return
         if self.policy in ("ci", "vect"):
             if instr.is_load and instr.rd is not None:
@@ -174,10 +180,15 @@ class CIEngine(Hooks):
                 self._select_ci_instruction(inst)
             if self._crp_decodes_since_reached > self.cfg.ci_select_window:
                 self.crp.disarm()
+                if self.obs is not None:
+                    self.obs.on_crp_disarm("window-exhausted",
+                                           self.core.cycle)
         else:
             self._crp_decodes_since_armed += 1
             if self._crp_decodes_since_armed > 4 * self.cfg.ci_select_window:
                 self.crp.disarm()  # estimate was never reached: give up
+                if self.obs is not None:
+                    self.obs.on_crp_disarm("never-reached", self.core.cycle)
 
     def _select_ci_instruction(self, inst: DynInst) -> None:
         """Step 2: a post-re-convergence instruction with clean sources is
@@ -188,17 +199,22 @@ class CIEngine(Hooks):
         if not self.crp.sources_clean(instr.srcs):
             return
         ev = self._event
+        obs = self.obs
         if ev is not None and not ev.counted_selected:
             ev.selected = True
             ev.counted_selected = True
             self.stats.ci_selected += 1
+            if obs is not None:
+                obs.on_ci_selected(ev, inst.pc, self.core.cycle)
         # Select every strided load in the backward slice (rename table's
         # stridedPC extension) for vectorization next time it is fetched.
         rename = self.core.rename
         for r in instr.srcs:
             for lpc in rename.strided_pcs[r]:
-                self.stride.mark_selected(
+                ok = self.stride.mark_selected(
                     lpc, ev, conflict_blacklist=self.cfg.ci_conflict_blacklist)
+                if obs is not None:
+                    obs.on_slice_marked(ev, lpc, ok, self.core.cycle)
 
     def _chronically_failing(self, pc: int) -> bool:
         """Gate for PCs whose validations (almost) never succeed.
@@ -268,6 +284,9 @@ class CIEngine(Hooks):
     def _create_dep_load_entry(self, inst: DynInst, prod) -> bool:
         nregs = self._alloc_replicas(self.cfg.replicas)
         if nregs == 0:
+            if self.obs is not None:
+                self.obs.on_srsmt_alloc_fail(inst.pc, prod.event, "no-regs",
+                                             self.core.cycle)
             return False
         entry = SRSMTEntry(inst.pc, inst.instr, nregs,
                            storage="specmem" if self.spec_mem else "rf")
@@ -279,15 +298,24 @@ class CIEngine(Hooks):
         if not self.srsmt.try_insert(entry):
             self._release_regs(nregs * self._vect_factor)
             self.stats.srsmt_alloc_failures += 1
+            if self.obs is not None:
+                self.obs.on_srsmt_alloc_fail(inst.pc, prod.event,
+                                             "no-srsmt-way", self.core.cycle)
             return False
         self.scheduler.enqueue_batch(entry)
         self.stats.replicas_created += nregs
         self.stats.replica_batches += 1
+        if self.obs is not None:
+            self.obs.on_replicas_created(inst.pc, nregs, prod.event,
+                                         self.core.cycle)
         return True
 
     def _create_load_entry(self, inst: DynInst, stride: int, event) -> bool:
         nregs = self._alloc_replicas(self.cfg.replicas)
         if nregs == 0:
+            if self.obs is not None:
+                self.obs.on_srsmt_alloc_fail(inst.pc, event, "no-regs",
+                                             self.core.cycle)
             return False
         entry = SRSMTEntry(inst.pc, inst.instr, nregs,
                            storage="specmem" if self.spec_mem else "rf")
@@ -297,10 +325,16 @@ class CIEngine(Hooks):
         if not self.srsmt.try_insert(entry):
             self._release_regs(nregs * self._vect_factor)
             self.stats.srsmt_alloc_failures += 1
+            if self.obs is not None:
+                self.obs.on_srsmt_alloc_fail(inst.pc, event, "no-srsmt-way",
+                                             self.core.cycle)
             return False
         self.scheduler.enqueue_batch(entry)
         self.stats.replicas_created += nregs
         self.stats.replica_batches += 1
+        if self.obs is not None:
+            self.obs.on_replicas_created(inst.pc, nregs, event,
+                                         self.core.cycle)
         return True
 
     # -- ALU dependents: vectorize when a source is vectorized ------------
@@ -339,26 +373,35 @@ class CIEngine(Hooks):
                 operands.append(Operand(
                     SCALAR,
                     value=inst.sreg_old if r == instr.rd else sregs[r]))
+        # Attribute to the first producer's event (reuse chains propagate
+        # their originating misprediction for Figure 5).
+        event = next((o.producer.event for o in operands
+                      if o.kind == VEC and o.producer is not None
+                      and o.producer.event), None)
         nregs = self._alloc_replicas(self.cfg.replicas)
         if nregs == 0:
+            if self.obs is not None:
+                self.obs.on_srsmt_alloc_fail(inst.pc, event, "no-regs",
+                                             self.core.cycle)
             return
         entry = SRSMTEntry(inst.pc, instr, nregs,
                            storage="specmem" if self.spec_mem else "rf")
         entry.regs_held = nregs * self._vect_factor
         entry.operands = operands
-        # Attribute to the first producer's event (reuse chains propagate
-        # their originating misprediction for Figure 5).
-        for o in operands:
-            if o.kind == VEC and o.producer is not None and o.producer.event:
-                entry.event = o.producer.event
-                break
+        entry.event = event
         if not self.srsmt.try_insert(entry):
             self._release_regs(nregs * self._vect_factor)
             self.stats.srsmt_alloc_failures += 1
+            if self.obs is not None:
+                self.obs.on_srsmt_alloc_fail(inst.pc, event, "no-srsmt-way",
+                                             self.core.cycle)
             return
         self.scheduler.enqueue_batch(entry)
         self.stats.replicas_created += nregs
         self.stats.replica_batches += 1
+        if self.obs is not None:
+            self.obs.on_replicas_created(inst.pc, nregs, event,
+                                         self.core.cycle)
         rename.vect_pc[instr.rd] = inst.pc
 
     # -- validation (step 4) ----------------------------------------------
@@ -370,12 +413,16 @@ class CIEngine(Hooks):
         re-creation happens naturally on a later fetch)."""
         instr = inst.instr
         idx = entry.decode
+        obs = self.obs
         if idx >= entry.nregs:
             # Batch exhausted: re-batch immediately from this instance (it
             # executes normally and seeds the next replica set).  Waiting
             # for full commit would desynchronise chained entries.
             event = entry.event
             self.srsmt.deallocate(entry)
+            if obs is not None:
+                obs.on_validation(inst.pc, event, False, "batch-exhausted",
+                                  self.core.cycle)
             if instr.is_load:
                 se = self.stride.confident(inst.pc)
                 blacklist = self.cfg.ci_conflict_blacklist
@@ -391,28 +438,34 @@ class CIEngine(Hooks):
         # merely started a new replica batch still matches; the value check
         # below arbitrates actual staleness.
         ok = entry.done[idx]
+        reason = "ok" if ok else "replica-not-ready"
         if ok and instr.is_load:
             if entry.addr_operand is not None:
                 opnd = entry.addr_operand
-                ok = (entry.addrs[idx] == inst.eff_addr
-                      and self._vect_pc_of(inst, instr.rs1) == opnd.seq_id())
-            else:
-                ok = inst.eff_addr == entry.replica_addr(idx)
+                if not (entry.addrs[idx] == inst.eff_addr
+                        and self._vect_pc_of(inst, instr.rs1)
+                        == opnd.seq_id()):
+                    ok, reason = False, "producer-mismatch"
+            elif inst.eff_addr != entry.replica_addr(idx):
+                ok, reason = False, "stride-break"
         elif ok:
             for r, opnd in zip(instr.srcs, entry.operands):
                 if opnd.kind == SELF:
                     continue
                 if opnd.kind == VEC:
                     if self._vect_pc_of(inst, r) != opnd.seq_id():
-                        ok = False
+                        ok, reason = False, "producer-mismatch"
                         break
                 elif self._vect_pc_of(inst, r) is not None:
                     # A previously scalar operand became vectorized: the
                     # stored scalar value is stale by construction.
-                    ok = False
+                    ok, reason = False, "stale-scalar"
                     break
         if ok and entry.values[idx] != inst.result:
-            ok = False  # value check (model-level safety net)
+            ok, reason = False, "value-mismatch"  # model-level safety net
+        if obs is not None:
+            obs.on_validation(inst.pc, entry.event, ok, reason,
+                              self.core.cycle)
         if not ok:
             self.stats.replica_validation_failures += 1
             self._fail_streak[inst.pc] = min(
@@ -449,6 +502,9 @@ class CIEngine(Hooks):
     def on_branch_resolved(self, inst: DynInst) -> None:
         inst.hard_branch = (self.mbs.is_hard(inst.pc)
                             if self.cfg.ci_mbs_filter else True)
+        if self.obs is not None:
+            self.obs.on_mbs_verdict(inst.pc, inst.hard_branch,
+                                    inst.mispredicted, self.core.cycle)
 
     def on_recovery(self, pivot: DynInst, squashed: List[DynInst],
                     is_branch: bool) -> None:
@@ -490,10 +546,15 @@ class CIEngine(Hooks):
     def _arm_crp(self, pivot: DynInst, squashed: List[DynInst]) -> None:
         nrbq_entry = self.nrbq.find(pivot.seq)
         if nrbq_entry is None:
+            if self.obs is not None:
+                self.obs.on_ci_untracked(pivot.pc, pivot.seq,
+                                         self.core.cycle)
             return  # branch was not tracked (NRBQ full)
         self.stats.ci_events += 1
         event = CIEvent(branch_pc=pivot.pc, seq=pivot.seq)
         self._event = event
+        if self.obs is not None:
+            self.obs.on_ci_event(event, pivot.pc, pivot.seq, self.core.cycle)
         mask0 = self._wrong_path_mask(nrbq_entry.reconv_pc, squashed)
         if self.policy == "ci-iw":
             n = self.reuse_buffer.harvest(nrbq_entry.reconv_pc, mask0,
@@ -502,6 +563,8 @@ class CIEngine(Hooks):
                 event.selected = True
                 event.counted_selected = True
                 self.stats.ci_selected += 1
+                if self.obs is not None:
+                    self.obs.on_ci_selected(event, pivot.pc, self.core.cycle)
         else:
             self.crp.arm(pivot.pc, pivot.seq, nrbq_entry.reconv_pc, mask0)
             self._crp_decodes_since_reached = 0
@@ -562,6 +625,9 @@ class CIEngine(Hooks):
             if se is not None:
                 se.selected = False
                 se.conflicts += 1
+            if self.obs is not None:
+                self.obs.on_coherence_conflict(entry.pc, addr,
+                                               self.core.cycle)
             self.srsmt.deallocate(entry)
             conflict = True
         return conflict

@@ -11,6 +11,13 @@ Commands
 ``trace``    trace-driven profile of a kernel (branches, strides, reconv.)
 ``cache``    inspect or clear the persistent simulation-result cache
 ``profile``  cProfile one kernel simulation (hot-loop work)
+``pipeview`` per-instruction pipeline trace (text / Konata / JSONL)
+``why``      CPI stack + CI-mechanism audit: why cycles are spent and
+             why each hard branch was (not) reused
+
+``run`` takes ``--observe SPEC`` (or ``REPRO_OBSERVE``) to attach
+observers (``cpi``, ``audit``, ``trace``) and print their reports after
+the stats; observation never changes simulation results.
 
 ``suite``/``figure``/``ablation`` accept ``--jobs N`` (or ``REPRO_JOBS``)
 to fan simulations out over a worker-process pool; results persist in
@@ -72,13 +79,21 @@ def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
                         "or the machine's core count; 1 = in-process)")
 
 
-def cmd_run(args: argparse.Namespace) -> int:
+def _load_program(args: argparse.Namespace):
     if args.kernel.endswith(".s") or args.kernel.endswith(".asm"):
         with open(args.kernel) as fh:
-            prog = assemble(fh.read(), name=args.kernel)
-    else:
-        prog = build_program(args.kernel, args.scale, args.seed)
-    st = run_program(prog, make_config(args))
+            return assemble(fh.read(), name=args.kernel)
+    return build_program(args.kernel, args.scale, args.seed)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    import os
+    from .observe import make_observer
+    prog = _load_program(args)
+    spec = args.observe if args.observe is not None \
+        else os.environ.get("REPRO_OBSERVE")
+    observer = make_observer(spec)
+    st = run_program(prog, make_config(args), observer=observer)
     print(f"program            : {prog.name} ({len(prog)} static instrs)")
     print(f"committed / cycles : {st.committed} / {st.cycles}")
     print(f"IPC                : {st.ipc:.3f}")
@@ -102,6 +117,48 @@ def cmd_run(args: argparse.Namespace) -> int:
         # One digit per interval, 0-9 ~ IPC 0-4.5+ (warm-up at a glance).
         timeline = "".join(str(min(9, int(x * 2))) for x in series)
         print(f"IPC timeline       : {timeline}")
+    if observer is not None:
+        report = observer.render()
+        if report:
+            print()
+            print(report)
+    return 0
+
+
+def cmd_pipeview(args: argparse.Namespace) -> int:
+    from .observe import PipeTracer
+    prog = _load_program(args)
+    tracer = PipeTracer(limit=args.limit)
+    run_program(prog, make_config(args), observer=tracer)
+    if args.format == "text":
+        out = tracer.render_text(limit=args.limit or 32, width=args.width)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(out + "\n")
+        else:
+            print(out)
+    else:
+        writer = tracer.to_konata if args.format == "konata" \
+            else tracer.to_jsonl
+        if args.out:
+            with open(args.out, "w") as fh:
+                n = writer(fh)
+            print(f"wrote {n} instruction(s) to {args.out} "
+                  f"({args.format})", file=sys.stderr)
+        else:
+            writer(sys.stdout)
+    return 0
+
+
+def cmd_why(args: argparse.Namespace) -> int:
+    from .observe import AuditTrail, CPIStack, MultiObserver
+    prog = _load_program(args)
+    observer = MultiObserver([CPIStack(), AuditTrail()])
+    st = run_program(prog, make_config(args), observer=observer)
+    print(f"{prog.name}: {st.committed} committed / {st.cycles} cycles "
+          f"(IPC {st.ipc:.3f}) under {args.scheme}")
+    print()
+    print(observer.render())
     return 0
 
 
@@ -236,7 +293,31 @@ def build_parser() -> argparse.ArgumentParser:
     pr = sub.add_parser("run", help="simulate one kernel or .s file")
     pr.add_argument("kernel", help="suite kernel name or assembly file")
     _add_machine_args(pr)
+    pr.add_argument("--observe", default=None, metavar="SPEC",
+                    help="attach observers (comma list of cpi, audit, "
+                         "trace; default: REPRO_OBSERVE)")
     pr.set_defaults(fn=cmd_run)
+
+    pv = sub.add_parser("pipeview",
+                        help="per-instruction pipeline trace/diagram")
+    pv.add_argument("kernel", help="suite kernel name or assembly file")
+    _add_machine_args(pv)
+    pv.add_argument("--format", choices=("text", "konata", "jsonl"),
+                    default="text",
+                    help="text diagram, Konata/Kanata log, or JSONL")
+    pv.add_argument("--out", default=None, metavar="FILE",
+                    help="write to FILE instead of stdout")
+    pv.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="trace at most N dynamic instructions")
+    pv.add_argument("--width", type=int, default=72,
+                    help="text diagram width in cycles")
+    pv.set_defaults(fn=cmd_pipeview)
+
+    pw = sub.add_parser("why",
+                        help="CPI stack + why branches were (not) reused")
+    pw.add_argument("kernel", help="suite kernel name or assembly file")
+    _add_machine_args(pw)
+    pw.set_defaults(fn=cmd_why)
 
     ps = sub.add_parser("suite", help="run all kernels under one scheme")
     _add_machine_args(ps)

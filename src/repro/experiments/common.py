@@ -92,11 +92,12 @@ class Runner(ParallelRunner):
     def __init__(self, scale: Optional[float] = None,
                  seed: Optional[int] = None,
                  jobs: Optional[int] = None,
-                 cache: Optional[ResultCache] = None):
+                 cache: Optional[ResultCache] = None,
+                 observe: Optional[str] = None):
         super().__init__(
             scale=EXPERIMENT_SCALE if scale is None else scale,
             seed=EXPERIMENT_SEED if seed is None else seed,
-            jobs=jobs, cache=cache)
+            jobs=jobs, cache=cache, observe=observe)
 
     def run_suite(self, cfg: ProcessorConfig) -> Dict[str, SimStats]:
         names = kernel_names()

@@ -1,0 +1,49 @@
+"""Pipeline observability: event tracing, CPI stacks, mechanism audits.
+
+The subsystem has one producer side — hook points in the timing core
+(``uarch/core.py`` / ``uarch/frontend.py``) and the CI engine
+(``ci/engine.py``) that emit structured events — and three consumers:
+
+* :class:`PipeTracer`  — per-instruction stage timestamps; exports
+  JSONL, the Konata/O3-pipeview log format, and an ASCII diagram
+  (``repro pipeview``);
+* :class:`CPIStack`    — top-down cycle accounting whose components sum
+  exactly to ``stats.cycles``;
+* :class:`AuditTrail`  — per-branch "why was this (not) reused" causal
+  chains (``repro why``).
+
+Observation is opt-in (``--observe`` / ``REPRO_OBSERVE``); the default
+:class:`NullObserver`/``None`` path adds no work to the core loop.
+Observers compose with the process-pool runtime: workers ship
+``Observer.export()`` payloads back with their stats and
+:func:`merge_payloads` merges them deterministically in job order.
+"""
+
+from .audit import REASONS, AuditTrail, EventAudit
+from .base import (
+    MultiObserver,
+    NullObserver,
+    Observer,
+    make_observer,
+    merge_payloads,
+    observer_names,
+)
+from .cpistack import COMPONENTS, CPIStack
+from .pipetrace import InstRecord, PipeTracer, parse_konata
+
+__all__ = [
+    "AuditTrail",
+    "COMPONENTS",
+    "CPIStack",
+    "EventAudit",
+    "InstRecord",
+    "MultiObserver",
+    "NullObserver",
+    "Observer",
+    "PipeTracer",
+    "REASONS",
+    "make_observer",
+    "merge_payloads",
+    "observer_names",
+    "parse_konata",
+]

@@ -1,0 +1,300 @@
+"""CI-mechanism audit trail: *why* was this branch (not) reused?
+
+``AuditTrail`` subscribes to the mechanism channel and keeps, per hard
+mispredicted branch examined by the engine, the full causal chain:
+CRP armed → re-convergence reached → CI instruction selected → strided
+slice marked → replicas allocated → validations.  Each examined event
+then classifies into one reuse-blocking reason:
+
+* ``reused``            — at least one precomputed instance validated;
+* ``validation-fail``   — replicas existed but every validation failed
+  (stale producers, stride break, value mismatch);
+* ``SRSMT-alloc-fail``  — vectorization was attempted but registers or
+  SRSMT ways ran out;
+* ``not-refetched``     — replicas were created but the selected code
+  was never fetched again while they lived;
+* ``no-strided-slice``  — CI instructions were selected but their
+  backward slices contain no (confident) strided load;
+* ``no-CI-found``       — the CRP disarmed without selecting anything;
+* ``nrbq-full``         — the branch was not tracked (NRBQ overflow).
+
+A second, per-*instruction* table aggregates vectorization outcomes
+(replica batches, validations, failures by cause, store conflicts) for
+"why was this replica (not) reused".  ``repro why <kernel>`` renders
+both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .base import Observer
+
+#: classification order = reporting priority
+REASONS = ("reused", "validation-fail", "SRSMT-alloc-fail", "not-refetched",
+           "no-strided-slice", "no-CI-found", "nrbq-full")
+
+
+class EventAudit:
+    """One examined hard-branch misprediction (mirrors a CIEvent)."""
+
+    __slots__ = ("branch_pc", "seq", "cycle", "tracked", "selected",
+                 "marks", "replica_batches", "alloc_fails", "validations",
+                 "validation_fails", "reused")
+
+    def __init__(self, branch_pc: int, seq: int, cycle: int,
+                 tracked: bool = True):
+        self.branch_pc = branch_pc
+        self.seq = seq
+        self.cycle = cycle
+        self.tracked = tracked
+        self.selected = False
+        self.marks = 0               # strided loads marked (S flag set)
+        self.replica_batches = 0
+        self.alloc_fails = 0
+        self.validations = 0
+        self.validation_fails = 0
+        self.reused = False
+
+    @property
+    def reason(self) -> str:
+        if not self.tracked:
+            return "nrbq-full"
+        if self.reused:
+            return "reused"
+        if self.validation_fails:
+            return "validation-fail"
+        if self.alloc_fails:
+            return "SRSMT-alloc-fail"
+        if self.replica_batches:
+            return "not-refetched"
+        if self.selected:
+            return "no-strided-slice"
+        return "no-CI-found"
+
+    def as_dict(self) -> dict:
+        return {s: getattr(self, s) for s in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "EventAudit":
+        ev = cls(d["branch_pc"], d["seq"], d["cycle"], d["tracked"])
+        for s in cls.__slots__[4:]:
+            setattr(ev, s, d[s])
+        return ev
+
+
+class PCStats:
+    """Vectorization outcomes of one static (load/ALU) instruction."""
+
+    __slots__ = ("batches", "alloc_fails", "validations",
+                 "validation_fails", "fail_reasons", "conflicts")
+
+    def __init__(self):
+        self.batches = 0
+        self.alloc_fails = 0
+        self.validations = 0
+        self.validation_fails = 0
+        self.fail_reasons: Dict[str, int] = {}
+        self.conflicts = 0
+
+    def as_dict(self) -> dict:
+        return {s: getattr(self, s) for s in self.__slots__}
+
+    def merge_from(self, d: dict) -> None:
+        for s in ("batches", "alloc_fails", "validations",
+                  "validation_fails", "conflicts"):
+            setattr(self, s, getattr(self, s) + d[s])
+        for r, n in d["fail_reasons"].items():
+            self.fail_reasons[r] = self.fail_reasons.get(r, 0) + n
+
+
+class AuditTrail(Observer):
+    """Collects the mechanism channel into an explainable audit trail."""
+
+    name = "audit"
+
+    def __init__(self) -> None:
+        self.events: List[EventAudit] = []
+        self._live: Dict[int, EventAudit] = {}   # id(CIEvent) -> audit
+        #: branch pc -> [resolved, hard_resolved, mispredicts, hard_mispr.]
+        self.branches: Dict[int, List[int]] = {}
+        self.pcs: Dict[int, PCStats] = {}
+        self._texts: Dict[int, str] = {}
+
+    def attach(self, core) -> None:
+        super().attach(core)
+        for instr in core.program.code:
+            self._texts[instr.pc] = instr.text
+
+    # -- mechanism events ------------------------------------------------
+    def on_mbs_verdict(self, pc: int, hard: bool, mispredicted: bool,
+                       cycle: int) -> None:
+        b = self.branches.get(pc)
+        if b is None:
+            b = self.branches[pc] = [0, 0, 0, 0]
+        b[0] += 1
+        if hard:
+            b[1] += 1
+        if mispredicted:
+            b[2] += 1
+            if hard:
+                b[3] += 1
+
+    def on_ci_event(self, event, pc: int, seq: int, cycle: int) -> None:
+        audit = EventAudit(pc, seq, cycle)
+        self.events.append(audit)
+        self._live[id(event)] = audit
+
+    def on_ci_untracked(self, pc: int, seq: int, cycle: int) -> None:
+        self.events.append(EventAudit(pc, seq, cycle, tracked=False))
+
+    def _event_audit(self, event) -> Optional[EventAudit]:
+        return None if event is None else self._live.get(id(event))
+
+    def on_ci_selected(self, event, pc: int, cycle: int) -> None:
+        audit = self._event_audit(event)
+        if audit is not None:
+            audit.selected = True
+
+    def on_slice_marked(self, event, load_pc: int, ok: bool,
+                        cycle: int) -> None:
+        audit = self._event_audit(event)
+        if audit is not None and ok:
+            audit.marks += 1
+
+    def _pc(self, pc: int) -> PCStats:
+        st = self.pcs.get(pc)
+        if st is None:
+            st = self.pcs[pc] = PCStats()
+        return st
+
+    def on_replicas_created(self, pc: int, nregs: int, event,
+                            cycle: int) -> None:
+        self._pc(pc).batches += 1
+        audit = self._event_audit(event)
+        if audit is not None:
+            audit.replica_batches += 1
+
+    def on_srsmt_alloc_fail(self, pc: int, event, reason: str,
+                            cycle: int) -> None:
+        self._pc(pc).alloc_fails += 1
+        audit = self._event_audit(event)
+        if audit is not None:
+            audit.alloc_fails += 1
+
+    def on_validation(self, pc: int, event, ok: bool, reason: str,
+                      cycle: int) -> None:
+        st = self._pc(pc)
+        audit = self._event_audit(event)
+        if ok:
+            st.validations += 1
+            if audit is not None:
+                audit.validations += 1
+                audit.reused = True
+        else:
+            st.fail_reasons[reason] = st.fail_reasons.get(reason, 0) + 1
+            if reason == "batch-exhausted":
+                # Normal re-batch, not a reuse failure: the instance
+                # executes once to seed the next replica set.
+                return
+            st.validation_fails += 1
+            if audit is not None:
+                audit.validation_fails += 1
+
+    def on_coherence_conflict(self, pc: int, addr: int, cycle: int) -> None:
+        self._pc(pc).conflicts += 1
+
+    # -- queries ---------------------------------------------------------
+    def hard_branch_reasons(self) -> Dict[int, str]:
+        """Dominant reuse-blocking reason per examined branch PC.
+
+        Covers every branch whose hard misprediction reached the
+        mechanism (tracked or not); the dominant reason is the most
+        frequent one, ties broken by :data:`REASONS` priority.
+        """
+        per_pc: Dict[int, Dict[str, int]] = {}
+        for ev in self.events:
+            hist = per_pc.setdefault(ev.branch_pc, {})
+            hist[ev.reason] = hist.get(ev.reason, 0) + 1
+        return {pc: max(hist, key=lambda r: (hist[r], -REASONS.index(r)))
+                for pc, hist in per_pc.items()}
+
+    def reason_histogram(self) -> Dict[str, int]:
+        hist = {r: 0 for r in REASONS}
+        for ev in self.events:
+            hist[ev.reason] += 1
+        return hist
+
+    # -- reporting -------------------------------------------------------
+    def render(self) -> str:
+        from ..analysis import format_table
+        reasons = self.hard_branch_reasons()
+        rows = []
+        for pc in sorted(reasons):
+            b = self.branches.get(pc, [0, 0, 0, 0])
+            per = {r: 0 for r in REASONS}
+            for ev in self.events:
+                if ev.branch_pc == pc:
+                    per[ev.reason] += 1
+            n_events = sum(per.values())
+            hist = " ".join(f"{r}:{n}" for r, n in per.items() if n)
+            rows.append([pc, self._texts.get(pc, "?"), b[0], b[3], n_events,
+                         reasons[pc], hist])
+        parts = [format_table(
+            "why: hard mispredicted branches and their reuse outcome",
+            ["pc", "branch", "execs", "hard-misp", "events",
+             "dominant reason", "breakdown"], rows)]
+        vrows = []
+        for pc in sorted(self.pcs):
+            st = self.pcs[pc]
+            fails = " ".join(f"{r}:{n}"
+                             for r, n in sorted(st.fail_reasons.items()))
+            vrows.append([pc, self._texts.get(pc, "?"), st.batches,
+                          st.alloc_fails, st.validations,
+                          st.validation_fails, st.conflicts, fails])
+        if vrows:
+            parts.append("")
+            parts.append(format_table(
+                "why: per-instruction vectorization outcomes",
+                ["pc", "instruction", "batches", "alloc-fail", "valid",
+                 "fail", "conflicts", "fail causes"], vrows))
+        return "\n".join(parts)
+
+    # -- worker transport ------------------------------------------------
+    def export_data(self) -> dict:
+        return {
+            "events": [ev.as_dict() for ev in self.events],
+            "branches": {str(pc): list(v)
+                         for pc, v in self.branches.items()},
+            "pcs": {str(pc): st.as_dict() for pc, st in self.pcs.items()},
+            "texts": {str(pc): t for pc, t in self._texts.items()},
+        }
+
+    @classmethod
+    def merge_data(cls, datas: Sequence[dict]) -> dict:
+        out = cls()
+        for d in datas:
+            out.events.extend(EventAudit.from_dict(e)
+                              for e in d.get("events", ()))
+            for pc, v in d.get("branches", {}).items():
+                b = out.branches.setdefault(int(pc), [0, 0, 0, 0])
+                for i, n in enumerate(v):
+                    b[i] += n
+            for pc, stats in d.get("pcs", {}).items():
+                out._pc(int(pc)).merge_from(stats)
+            for pc, t in d.get("texts", {}).items():
+                out._texts.setdefault(int(pc), t)
+        return out.export_data()
+
+    @classmethod
+    def from_payload(cls, data: dict) -> "AuditTrail":
+        """Rebuild a (render-capable) trail from merged payload data."""
+        out = cls()
+        merged = cls.merge_data([data])
+        out.events = [EventAudit.from_dict(e) for e in merged["events"]]
+        out.branches = {int(pc): list(v)
+                        for pc, v in merged["branches"].items()}
+        for pc, stats in merged["pcs"].items():
+            out._pc(int(pc)).merge_from(stats)
+        out._texts = {int(pc): t for pc, t in merged["texts"].items()}
+        return out

@@ -1,0 +1,156 @@
+"""Top-down CPI-stack cycle accounting.
+
+Every simulated cycle is attributed to exactly one component, so the
+stack sums *exactly* to ``stats.cycles`` (the invariant the tests pin
+down for every kernel × policy):
+
+* ``base``              — cycles that committed at least one instruction,
+  plus the residual of cycles the classifier saw no stall source for
+  (the run loop can break out of a cycle early at halt);
+* ``fetch_refill``      — commit idle with an *empty* window and no
+  branch recovery in flight: cold start or fetch-queue starvation;
+* ``branch_resolution`` — commit blocked behind an unresolved
+  conditional branch at the window head, or idle while the front end
+  refills after a branch-misprediction squash (the classic
+  misprediction penalty — the cycles CI reuse attacks);
+* ``rename_stall``      — commit idle while dispatch sat on an empty
+  free list (register pressure, Section 2.4.2);
+* ``mem_miss``          — commit blocked behind a load that missed in
+  the L1 (L2/L3/memory latency);
+* ``replica_overhead``  — commit blocked behind a *validated*
+  instruction waiting for its replica value to drain (the speculative
+  data-memory copy path);
+* ``other_stall``       — commit blocked for any other reason (FU
+  latency, dependence chains, commit bandwidth).
+
+Classification is head-of-window ("top-down"): on a cycle with no
+commit, the oldest instruction is the commit blocker and names the
+component.  The accountant only reads core state, never mutates it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from .base import Observer
+
+#: attribution order of the rendered stack
+COMPONENTS = ("base", "fetch_refill", "branch_resolution", "rename_stall",
+              "mem_miss", "replica_overhead", "other_stall")
+
+#: stall components (everything but the residual ``base``)
+STALL_COMPONENTS = COMPONENTS[1:]
+
+
+class CPIStack(Observer):
+    """Per-cycle top-down cycle accounting (one counter per component)."""
+
+    name = "cpi"
+
+    def __init__(self) -> None:
+        self.fetch_refill = 0
+        self.branch_resolution = 0
+        self.rename_stall = 0
+        self.mem_miss = 0
+        self.replica_overhead = 0
+        self.other_stall = 0
+        self.base = 0            # residual; filled in by finalize()
+        self.cycles = 0
+        self._last_commit_cycle = -1
+        #: pivot seq of an unabsorbed branch recovery (-1 = none); the
+        #: refill ends when a younger (post-redirect) instruction commits
+        self._refill_pivot = -1
+        self._seen_rename_stalls = 0
+        #: seq -> True for in-flight loads that missed in the L1
+        self._missed: Dict[int, bool] = {}
+        self._l1_hit_latency = 1
+
+    # -- pipeline events -------------------------------------------------
+    def attach(self, core) -> None:
+        super().attach(core)
+        self._l1_hit_latency = core.hierarchy.l1.hit_latency
+
+    def on_issue(self, inst, cycle: int, latency: int) -> None:
+        if inst.instr.is_load and latency > self._l1_hit_latency \
+                and not inst.validated:
+            self._missed[inst.seq] = True
+
+    def on_writeback(self, inst, cycle: int) -> None:
+        self._missed.pop(inst.seq, None)
+
+    def on_squash(self, inst, cycle: int) -> None:
+        self._missed.pop(inst.seq, None)
+
+    def on_commit(self, inst, cycle: int) -> None:
+        self._last_commit_cycle = cycle
+        if self._refill_pivot >= 0 and inst.seq > self._refill_pivot:
+            self._refill_pivot = -1
+
+    def on_recovery(self, pivot, n_squashed: int, is_branch: bool,
+                    cycle: int) -> None:
+        if is_branch:
+            self._refill_pivot = pivot.seq
+
+    def on_cycle_end(self, core) -> None:
+        cycle = core.cycle
+        if self._last_commit_cycle != cycle:
+            window = core.window
+            if not window:
+                # Empty window right after a branch squash is the
+                # misprediction penalty, not a fetch problem.
+                if self._refill_pivot >= 0:
+                    self.branch_resolution += 1
+                else:
+                    self.fetch_refill += 1
+            else:
+                head = window[0]
+                if head.validated and not head.done:
+                    self.replica_overhead += 1
+                elif head.instr.is_cond_branch and not head.done:
+                    self.branch_resolution += 1
+                elif not head.done and self._missed.get(head.seq):
+                    self.mem_miss += 1
+                elif core.stats.rename_stall_cycles > self._seen_rename_stalls:
+                    self.rename_stall += 1
+                else:
+                    self.other_stall += 1
+        self._seen_rename_stalls = core.stats.rename_stall_cycles
+
+    def finalize(self, stats) -> None:
+        """Close the books: ``base`` is the exact residual."""
+        self.cycles = stats.cycles
+        self.base = stats.cycles - sum(
+            getattr(self, c) for c in STALL_COMPONENTS)
+
+    # -- reporting -------------------------------------------------------
+    def as_dict(self) -> Dict[str, int]:
+        return {c: getattr(self, c) for c in COMPONENTS}
+
+    @property
+    def total(self) -> int:
+        return sum(self.as_dict().values())
+
+    def render(self) -> str:
+        from ..analysis import format_bar, format_table
+        cycles = max(1, self.cycles)
+        rows = [[c, getattr(self, c), f"{getattr(self, c) / cycles:6.1%}",
+                 format_bar(getattr(self, c) / cycles, width=24)]
+                for c in COMPONENTS]
+        rows.append(["total", self.total, f"{self.total / cycles:6.1%}", ""])
+        return format_table(
+            f"CPI stack ({self.cycles} cycles)",
+            ["component", "cycles", "share", ""], rows)
+
+    # -- worker transport ------------------------------------------------
+    def export_data(self) -> dict:
+        return {"components": self.as_dict(), "cycles": self.cycles}
+
+    @classmethod
+    def merge_data(cls, datas: Sequence[dict]) -> dict:
+        components = {c: 0 for c in COMPONENTS}
+        cycles = 0
+        for d in datas:
+            for c, v in d.get("components", {}).items():
+                components[c] = components.get(c, 0) + v
+            cycles += d.get("cycles", 0)
+        return {"components": components, "cycles": cycles}

@@ -1,0 +1,270 @@
+"""Per-instruction pipeline tracing and export (JSONL / Konata / text).
+
+``PipeTracer`` records one :class:`InstRecord` per dynamic instruction
+with the cycle each stage happened: fetch (entered the fetch queue),
+dispatch (renamed into the window), issue, writeback (completion) and
+commit — or the squash cycle for wrong-path work.
+
+Exports:
+
+* ``to_jsonl``  — one JSON object per record (grep/pandas friendly);
+* ``to_konata`` — the Kanata/Onikiri pipeline-viewer log format, also
+  understood by gem5's Konata viewer; ``parse_konata`` reads it back
+  (round-trip tested);
+* ``render_text`` — an ASCII pipeline diagram for terminals
+  (``repro pipeview``).
+
+Stage lanes in the Konata log: ``F`` fetch queue, ``D`` window wait,
+``X`` execute, ``W`` completion-to-retire; retire records use type 0
+(commit) or 1 (squash flush).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, TextIO
+
+from .base import Observer
+
+#: Konata stage lanes in pipeline order with the record field that
+#: starts each one.
+_STAGES = (("F", "fetch"), ("D", "dispatch"), ("X", "issue"),
+           ("W", "writeback"))
+
+
+class InstRecord:
+    """Stage timestamps of one dynamic instruction (-1 = never reached)."""
+
+    __slots__ = ("seq", "pc", "text", "fetch", "dispatch", "issue",
+                 "writeback", "commit", "squash", "validated", "latency")
+
+    def __init__(self, seq: int, pc: int, text: str, fetch: int):
+        self.seq = seq
+        self.pc = pc
+        self.text = text
+        self.fetch = fetch
+        self.dispatch = -1
+        self.issue = -1
+        self.writeback = -1
+        self.commit = -1
+        self.squash = -1
+        self.validated = False
+        self.latency = 0
+
+    def as_dict(self) -> dict:
+        return {s: getattr(self, s) for s in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "InstRecord":
+        rec = cls(d["seq"], d["pc"], d["text"], d["fetch"])
+        for s in ("dispatch", "issue", "writeback", "commit", "squash",
+                  "validated", "latency"):
+            setattr(rec, s, d[s])
+        return rec
+
+    @property
+    def last_cycle(self) -> int:
+        return max(self.fetch, self.dispatch, self.issue, self.writeback,
+                   self.commit, self.squash)
+
+
+class PipeTracer(Observer):
+    """Records per-instruction stage timestamps as the core runs.
+
+    ``limit`` caps how many dynamic instructions are recorded (the
+    default traces everything; long runs produce long traces).
+    """
+
+    name = "trace"
+
+    def __init__(self, limit: Optional[int] = None):
+        self.limit = limit
+        self.records: List[InstRecord] = []
+        self._by_seq: Dict[int, InstRecord] = {}
+
+    # -- pipeline events -------------------------------------------------
+    def on_fetch(self, inst, cycle: int) -> None:
+        if self.limit is not None and len(self.records) >= self.limit:
+            return
+        rec = InstRecord(inst.seq, inst.pc, inst.instr.text, cycle)
+        self.records.append(rec)
+        self._by_seq[inst.seq] = rec
+
+    def _rec(self, inst) -> Optional[InstRecord]:
+        return self._by_seq.get(inst.seq)
+
+    def on_dispatch(self, inst, cycle: int) -> None:
+        rec = self._rec(inst)
+        if rec is not None:
+            rec.dispatch = cycle
+
+    def on_issue(self, inst, cycle: int, latency: int) -> None:
+        rec = self._rec(inst)
+        if rec is not None:
+            rec.issue = cycle
+            rec.latency = latency
+            rec.validated = inst.validated
+
+    def on_writeback(self, inst, cycle: int) -> None:
+        rec = self._rec(inst)
+        if rec is not None:
+            rec.writeback = cycle
+
+    def on_commit(self, inst, cycle: int) -> None:
+        rec = self._rec(inst)
+        if rec is not None:
+            rec.commit = cycle
+            rec.validated = inst.validated
+
+    def on_squash(self, inst, cycle: int) -> None:
+        rec = self._rec(inst)
+        if rec is not None:
+            rec.squash = cycle
+
+    # -- views -----------------------------------------------------------
+    @property
+    def committed(self) -> List[InstRecord]:
+        return [r for r in self.records if r.commit >= 0]
+
+    def to_jsonl(self, fh: TextIO) -> int:
+        """One JSON object per record; returns the record count."""
+        for rec in self.records:
+            fh.write(json.dumps(rec.as_dict(), sort_keys=True))
+            fh.write("\n")
+        return len(self.records)
+
+    # -- Konata / O3 pipeview export -------------------------------------
+    def to_konata(self, fh: TextIO) -> int:
+        """Write the trace as a Kanata 0004 log; returns the record count.
+
+        Loadable in the Konata pipeline viewer; stage lanes are
+        ``F``/``D``/``X``/``W`` and squashes appear as flush retires.
+        """
+        events: List[tuple] = []  # (cycle, seq, order, line)
+        for rec in self.records:
+            events.append((rec.fetch, rec.seq, 0,
+                           f"I\t{rec.seq}\t{rec.seq}\t0"))
+            label = f"{rec.pc}: {rec.text}" if rec.text else str(rec.pc)
+            events.append((rec.fetch, rec.seq, 1,
+                           f"L\t{rec.seq}\t0\t{label}"))
+            events.append((rec.fetch, rec.seq, 2, f"S\t{rec.seq}\t0\tF"))
+            prev = "F"
+            for stage, field in _STAGES[1:]:
+                at = getattr(rec, field)
+                if at < 0:
+                    break
+                events.append((at, rec.seq, 2, f"E\t{rec.seq}\t0\t{prev}"))
+                events.append((at, rec.seq, 3, f"S\t{rec.seq}\t0\t{stage}"))
+                prev = stage
+            if rec.commit >= 0:
+                events.append((rec.commit, rec.seq, 4,
+                               f"E\t{rec.seq}\t0\t{prev}"))
+                events.append((rec.commit, rec.seq, 5,
+                               f"R\t{rec.seq}\t{rec.seq}\t0"))
+            elif rec.squash >= 0:
+                events.append((rec.squash, rec.seq, 4,
+                               f"E\t{rec.seq}\t0\t{prev}"))
+                events.append((rec.squash, rec.seq, 5,
+                               f"R\t{rec.seq}\t{rec.seq}\t1"))
+        events.sort(key=lambda e: (e[0], e[1], e[2]))
+        fh.write("Kanata\t0004\n")
+        if not events:
+            return 0
+        now = events[0][0]
+        fh.write(f"C=\t{now}\n")
+        for cycle, _, _, line in events:
+            if cycle != now:
+                fh.write(f"C\t{cycle - now}\n")
+                now = cycle
+            fh.write(line + "\n")
+        return len(self.records)
+
+    # -- text "screenshot" -----------------------------------------------
+    def render_text(self, limit: int = 32, width: int = 72) -> str:
+        """ASCII pipeline diagram of the first ``limit`` instructions.
+
+        Columns are cycles; ``F``/``D``/``X``/``W`` mark stage entry,
+        ``-`` fills a stage's duration, ``C`` is commit and ``k`` a
+        squash.  Long traces clip on the right (noted in the footer).
+        """
+        recs = self.records[:limit]
+        if not recs:
+            return "(empty pipeline trace)"
+        c0 = min(r.fetch for r in recs)
+        c1 = max(r.last_cycle for r in recs)
+        span = c1 - c0 + 1
+        clipped = span > width
+        span = min(span, width)
+        lines = [f"cycle {c0} .. {c0 + span - 1}  "
+                 f"(F fetch, D dispatch, X issue, W writeback, C commit, "
+                 f"k squash)"]
+        for rec in recs:
+            row = [" "] * span
+            marks = [(rec.fetch, "F"), (rec.dispatch, "D"), (rec.issue, "X"),
+                     (rec.writeback, "W"), (rec.commit, "C"),
+                     (rec.squash, "k")]
+            active = [c for c, _ in marks if c >= 0]
+            lo, hi = min(active), max(active)
+            for c in range(lo, hi + 1):
+                if 0 <= c - c0 < span:
+                    row[c - c0] = "-"
+            for c, ch in marks:
+                if c >= 0 and 0 <= c - c0 < span:
+                    row[c - c0] = ch
+            tag = "v" if rec.validated else " "
+            text = rec.text[:24] if rec.text else ""
+            lines.append(f"{rec.seq:6d} {rec.pc:5d} {text:24s}{tag}"
+                         f"|{''.join(row)}|")
+        if clipped:
+            lines.append(f"... view clipped to {width} cycles "
+                         f"(full span: {c1 - c0 + 1})")
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        return self.render_text()
+
+    # -- worker transport ------------------------------------------------
+    def export_data(self) -> dict:
+        return {"records": [r.as_dict() for r in self.records]}
+
+    @classmethod
+    def merge_data(cls, datas: Sequence[dict]) -> dict:
+        merged: List[dict] = []
+        for d in datas:
+            merged.extend(d.get("records", []))
+        return {"records": merged}
+
+
+def parse_konata(text: str) -> Dict[int, dict]:
+    """Parse a Kanata log back into per-instruction stage timestamps.
+
+    Returns ``{id: {"label": str, "stages": {name: start_cycle},
+    "retired": cycle | None, "flushed": bool}}`` — the inverse of
+    :meth:`PipeTracer.to_konata` (round-trip tested on a hammock).
+    """
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("Kanata"):
+        raise ValueError("not a Kanata log")
+    now = 0
+    out: Dict[int, dict] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        parts = line.split("\t")
+        kind = parts[0]
+        if kind == "C=":
+            now = int(parts[1])
+        elif kind == "C":
+            now += int(parts[1])
+        elif kind == "I":
+            out[int(parts[1])] = {"label": "", "stages": {},
+                                  "retired": None, "flushed": False}
+        elif kind == "L":
+            out[int(parts[1])]["label"] = parts[3]
+        elif kind == "S":
+            out[int(parts[1])]["stages"][parts[3]] = now
+        elif kind == "R":
+            rec = out[int(parts[1])]
+            rec["retired"] = now
+            rec["flushed"] = parts[3] == "1"
+    return out

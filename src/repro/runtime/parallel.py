@@ -33,12 +33,18 @@ from .cache import ResultCache, job_key
 
 @dataclass(frozen=True)
 class SimJob:
-    """One simulation work item: a suite kernel under one configuration."""
+    """One simulation work item: a suite kernel under one configuration.
+
+    ``observe`` is an observer spec string (``repro.observe.make_observer``
+    syntax); the worker builds the observer locally and ships its
+    ``export()`` payload back with the stats.
+    """
 
     kernel: str
     scale: float
     seed: int
     cfg: ProcessorConfig
+    observe: Optional[str] = None
 
 
 class WorkerError(RuntimeError):
@@ -56,19 +62,24 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def _run_job(job: SimJob) -> Tuple[Optional[dict], Optional[str]]:
-    """Worker entry point: returns (stats dict, error traceback).
+def _run_job(job: SimJob) -> Tuple[Optional[dict], Optional[dict],
+                                   Optional[str]]:
+    """Worker entry point: returns (stats dict, observer payload, error).
 
     Module-level so it pickles under both fork and spawn start methods;
     imports stay inside so a spawned worker re-resolves the package.
     """
     try:
         from .. import run_program
+        from ..observe import make_observer
         from ..workloads import build_program
         prog = build_program(job.kernel, job.scale, job.seed)
-        return run_program(prog, job.cfg).to_dict(), None
+        observer = make_observer(job.observe)
+        stats = run_program(prog, job.cfg, observer=observer)
+        payload = None if observer is None else observer.export()
+        return stats.to_dict(), payload, None
     except Exception:
-        return None, traceback.format_exc()
+        return None, None, traceback.format_exc()
 
 
 def _pool_context():
@@ -79,15 +90,18 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
-def execute_jobs(jobs: Sequence[SimJob],
-                 n_workers: Optional[int] = None) -> List[SimStats]:
+def execute_jobs_observed(
+        jobs: Sequence[SimJob], n_workers: Optional[int] = None,
+) -> List[Tuple[SimStats, Optional[dict]]]:
     """Run ``jobs`` (possibly in parallel), preserving order.
 
-    Raises :class:`WorkerError` carrying the remote traceback if any
-    job failed; the pool itself is never left hanging.
+    Returns one ``(stats, observer payload)`` pair per job — the payload
+    is ``None`` unless the job carried an ``observe`` spec.  Raises
+    :class:`WorkerError` carrying the remote traceback if any job
+    failed; the pool itself is never left hanging.
     """
     n = default_jobs() if n_workers is None else max(1, n_workers)
-    results: List[Tuple[Optional[dict], Optional[str]]]
+    results: List[Tuple[Optional[dict], Optional[dict], Optional[str]]]
     if n <= 1 or len(jobs) <= 1:
         results = [_run_job(j) for j in jobs]
     else:
@@ -98,14 +112,20 @@ def execute_jobs(jobs: Sequence[SimJob],
                 results = list(pool.map(_run_job, jobs))
         except (OSError, ImportError):  # no usable multiprocessing
             results = [_run_job(j) for j in jobs]
-    out: List[SimStats] = []
-    for job, (payload, err) in zip(jobs, results):
+    out: List[Tuple[SimStats, Optional[dict]]] = []
+    for job, (stats, payload, err) in zip(jobs, results):
         if err is not None:
             raise WorkerError(
                 f"simulation of {job.kernel!r} (scale={job.scale}, "
                 f"seed={job.seed}) failed in worker:\n{err}")
-        out.append(SimStats.from_dict(payload))
+        out.append((SimStats.from_dict(stats), payload))
     return out
+
+
+def execute_jobs(jobs: Sequence[SimJob],
+                 n_workers: Optional[int] = None) -> List[SimStats]:
+    """Like :func:`execute_jobs_observed` but stats-only."""
+    return [st for st, _ in execute_jobs_observed(jobs, n_workers)]
 
 
 class ParallelRunner:
@@ -120,11 +140,20 @@ class ParallelRunner:
 
     def __init__(self, scale: float, seed: int,
                  jobs: Optional[int] = None,
-                 cache: Optional[ResultCache] = None):
+                 cache: Optional[ResultCache] = None,
+                 observe: Optional[str] = None):
         self.scale = scale
         self.seed = seed
         self.jobs = default_jobs() if jobs is None else max(1, jobs)
         self.cache = ResultCache() if cache is None else cache
+        if observe is None:
+            observe = os.environ.get("REPRO_OBSERVE") or None
+        #: observer spec applied to every simulation this runner executes
+        #: (cached results carry no events, so observing bypasses the
+        #: memo/disk lookups and re-simulates — stats stay identical)
+        self.observe = observe
+        #: (kernel, payload) per observed simulation, in submission order
+        self.observations: List[Tuple[str, dict]] = []
         self._memo: Dict[tuple, SimStats] = {}
         self._programs: Dict[str, object] = {}
         self._disk_keys: Dict[tuple, str] = {}
@@ -158,30 +187,44 @@ class ParallelRunner:
         """Resolve a batch of (kernel, config) points, order-preserving."""
         resolved: Dict[tuple, SimStats] = {}
         pending: List[tuple] = []
+        observing = self.observe is not None
         for name, cfg in points:
             memo_key = (name, cfg)
             if memo_key in resolved or memo_key in pending:
                 continue
-            st = self._memo.get(memo_key)
-            if st is not None:
-                self.memo_hits += 1
-                resolved[memo_key] = st
-                continue
-            st = self.cache.get(self._key(name, cfg))
-            if st is not None:
-                self.disk_hits += 1
-                self._memo[memo_key] = resolved[memo_key] = st
-                continue
+            if not observing:
+                st = self._memo.get(memo_key)
+                if st is not None:
+                    self.memo_hits += 1
+                    resolved[memo_key] = st
+                    continue
+                st = self.cache.get(self._key(name, cfg))
+                if st is not None:
+                    self.disk_hits += 1
+                    self._memo[memo_key] = resolved[memo_key] = st
+                    continue
             pending.append(memo_key)
         if pending:
-            sim_jobs = [SimJob(name, self.scale, self.seed, cfg)
+            sim_jobs = [SimJob(name, self.scale, self.seed, cfg,
+                               observe=self.observe)
                         for name, cfg in pending]
-            stats = execute_jobs(sim_jobs, self.jobs)
+            results = execute_jobs_observed(sim_jobs, self.jobs)
             self.sims_run += len(sim_jobs)
-            for memo_key, st in zip(pending, stats):
+            for memo_key, (st, payload) in zip(pending, results):
                 self._memo[memo_key] = resolved[memo_key] = st
                 self.cache.put(self._key(*memo_key), st)
+                if payload is not None:
+                    self.observations.append((memo_key[0], payload))
         return [resolved[(name, cfg)] for name, cfg in points]
+
+    # -- observations ----------------------------------------------------
+    def merged_observations(self) -> Dict[str, dict]:
+        """All collected observer payloads, merged by observer name.
+
+        Deterministic: payloads merge in job-submission order, never in
+        worker-completion order."""
+        from ..observe import merge_payloads
+        return merge_payloads([p for _, p in self.observations])
 
     # -- reporting -------------------------------------------------------
     def runtime_summary(self) -> str:

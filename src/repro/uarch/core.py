@@ -27,6 +27,7 @@ from ..isa import (
     Program,
 )
 from ..isa.instructions import K_ALU, K_BRANCH, K_JUMP, K_LOAD, K_STORE
+from ..observe.base import NullObserver, Observer
 from .bpred import make_predictor
 from .caches import MemoryHierarchy
 from .config import ProcessorConfig
@@ -139,7 +140,8 @@ class Core:
     """One simulated processor running one program."""
 
     def __init__(self, cfg: ProcessorConfig, program: Program,
-                 hooks: Optional[Hooks] = None):
+                 hooks: Optional[Hooks] = None,
+                 observer: Optional[Observer] = None):
         self.cfg = cfg
         self.program = program
         self.stats = SimStats()
@@ -161,6 +163,16 @@ class Core:
         self.completion: List[tuple] = []   # (done_cycle, seq, inst)
         self.cycle = 0
         self.halted = False
+        # Observation (read-only; see repro.observe).  ``None`` and
+        # NullObserver normalise to "not observing" so the hot loop pays
+        # one ``is not None`` test per event site and nothing else.
+        self.observer = observer
+        self._obs: Optional[Observer] = (
+            None if observer is None or isinstance(observer, NullObserver)
+            else observer)
+        self.fetch.observer = self._obs
+        if self._obs is not None:
+            self._obs.attach(self)
         self.hooks = hooks or Hooks()
         self.hooks.attach(self)
         self._last_progress_cycle = 0
@@ -179,6 +191,7 @@ class Core:
         fu = self.fu
         ports = self._ports
         freelist = self.freelist
+        obs = self._obs
         max_cycles = self.cfg.max_cycles
         interval = stats.interval_cycles
         while not self.halted:
@@ -204,11 +217,15 @@ class Core:
             stats.record_reg_usage(freelist.in_use)
             if cycle % interval == 0:
                 stats.record_interval()
+            if obs is not None:
+                obs.on_cycle_end(self)
             if (not self.window and fetch.empty and not self.completion):
                 break  # fell off the end of the program
         self.stats.stridedpc_assignments = self.rename.assign_count
         self.stats.stridedpc_sum = self.rename.assign_sum
         self.stats.stridedpc_overflow = self.rename.overflow_count
+        if obs is not None:
+            obs.finalize(self.stats)
         return self.stats
 
     # ------------------------------------------------------------------
@@ -216,6 +233,7 @@ class Core:
     # ------------------------------------------------------------------
     def _commit(self, ports: PortState) -> None:
         cfg = self.cfg
+        obs = self._obs
         slots = cfg.commit_width
         stores_this_cycle = 0
         while slots > 0 and self.window:
@@ -244,6 +262,8 @@ class Core:
             self.window.popleft()
             inst.committed = True
             self.stats.committed += 1
+            if obs is not None:
+                obs.on_commit(inst, self.cycle)
             self._last_progress_cycle = self.cycle
             if inst.validated:
                 self.stats.committed_reused += 1
@@ -278,11 +298,14 @@ class Core:
     # ------------------------------------------------------------------
     def _writeback(self) -> None:
         comp = self.completion
+        obs = self._obs
         while comp and comp[0][0] <= self.cycle:
             _, _, inst = heapq.heappop(comp)
             if inst.squashed or inst.done:
                 continue
             inst.done = True
+            if obs is not None:
+                obs.on_writeback(inst, self.cycle)
             for c in inst.consumers:
                 c.num_pending -= 1
                 if (c.num_pending == 0 and not c.issued and not c.squashed
@@ -307,12 +330,16 @@ class Core:
             squashed.append(inst)
         squashed.reverse()
         self.hooks.on_recovery(pivot, squashed, is_branch)
+        if self._obs is not None:
+            self._obs.on_recovery(pivot, len(squashed), is_branch, self.cycle)
         self.fetch.redirect(redirect_pc, self.cycle)
 
     def _undo(self, inst: DynInst) -> None:
         """Roll back one instruction's functional and rename effects."""
         inst.squashed = True
         self.stats.squashed += 1
+        if self._obs is not None:
+            self._obs.on_squash(inst, self.cycle)
         instr = inst.instr
         if instr.is_store:
             if inst.mem_old is MEM_ABSENT:
@@ -345,6 +372,7 @@ class Core:
         issued = 0
         deferred: List[tuple] = []
         cfg = self.cfg
+        obs = self._obs
         while issued < cfg.issue_width and self.ready:
             seq, inst = heapq.heappop(self.ready)
             inst.in_ready = False
@@ -375,6 +403,8 @@ class Core:
             issued += 1
             inst.done_cycle = self.cycle + lat
             heapq.heappush(self.completion, (inst.done_cycle, inst.seq, inst))
+            if obs is not None:
+                obs.on_issue(inst, self.cycle, lat)
         for item in deferred:
             item[1].in_ready = True
             heapq.heappush(self.ready, item)
@@ -390,6 +420,7 @@ class Core:
         window = self.window
         queue = self.fetch.queue
         cycle = self.cycle
+        obs = self._obs
         window_size = cfg.window_size
         lsq_size = cfg.lsq_size
         for _ in range(cfg.issue_width):
@@ -411,6 +442,8 @@ class Core:
             self.stats.dispatched += 1
             window.append(inst)
             self.hooks.on_dispatch(inst)
+            if obs is not None:
+                obs.on_dispatch(inst, cycle)
             if inst.validated and not inst.issued:
                 # Replica reuse: skip execution.  The instruction may reach
                 # commit immediately (validation goes straight there,
@@ -422,6 +455,8 @@ class Core:
                 inst.done_cycle = self.cycle + lat
                 heapq.heappush(self.completion,
                                (inst.done_cycle, inst.seq, inst))
+                if obs is not None:
+                    obs.on_issue(inst, cycle, lat)
 
     def _execute_functional(self, inst: DynInst) -> None:
         instr = inst.instr
@@ -497,7 +532,8 @@ class Core:
 
 def simulate(program: Program, cfg: Optional[ProcessorConfig] = None,
              hooks: Optional[Hooks] = None,
-             max_instructions: Optional[int] = None) -> SimStats:
+             max_instructions: Optional[int] = None,
+             observer: Optional[Observer] = None) -> SimStats:
     """Convenience wrapper: build a core, run it, return the statistics."""
-    core = Core(cfg or ProcessorConfig(), program, hooks)
+    core = Core(cfg or ProcessorConfig(), program, hooks, observer=observer)
     return core.run(max_instructions=max_instructions)

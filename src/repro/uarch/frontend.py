@@ -34,9 +34,18 @@ class FetchUnit:
         self._redirect_at: Optional[int] = None
         self._redirect_pc: int = 0
         self.next_seq = 0
+        #: pipeline observer (set by the core; None when not observing)
+        self.observer = None
 
     def redirect(self, pc: int, cycle: int) -> None:
         """Squash the queue and restart fetching at ``pc`` next cycle."""
+        obs = self.observer
+        if obs is not None:
+            # Wrong-path instructions still in the fetch queue vanish
+            # here without touching core stats; the trace records them
+            # as squashed at the redirect cycle.
+            for _, di in self.queue:
+                obs.on_squash(di, cycle)
         self.queue.clear()
         self._redirect_at = cycle + 1
         self._redirect_pc = pc
@@ -56,6 +65,7 @@ class FetchUnit:
         ncode = len(code)
         queue = self.queue
         bpred = self.bpred
+        obs = self.observer
         pc = self.pc
         seq = self.next_seq
         fetched = 0
@@ -84,6 +94,8 @@ class FetchUnit:
                 di.pred_next_pc = next_pc
                 taken_seen += 1
             queue.append((ready_at, di))
+            if obs is not None:
+                obs.on_fetch(di, cycle)
             fetched += 1
             pc = next_pc
             if instr.is_halt:

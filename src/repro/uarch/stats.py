@@ -122,12 +122,21 @@ class SimStats:
             self.regs_in_use_peak = in_use
 
     def as_dict(self) -> Dict[str, float]:
-        d = {k: v for k, v in self.__dict__.items()}
+        """Reporting view: scalar counters plus the derived rates.
+
+        The raw ``interval_committed`` sample list and the
+        ``interval_cycles`` knob stay out (``interval_ipc`` is the
+        derived series); use ``to_dict`` for the lossless form.
+        """
+        d = {k: v for k, v in self.__dict__.items()
+             if k not in ("interval_committed", "interval_cycles")}
         d["ipc"] = self.ipc
         d["mispredict_rate"] = self.mispredict_rate
         d["avg_regs_in_use"] = self.avg_regs_in_use
         d["avg_stridedpcs"] = self.avg_stridedpcs
         d["reuse_fraction"] = self.reuse_fraction
+        d["interval_ipc"] = self.interval_ipc
+        d["wrong_spec_activity"] = self.wrong_spec_activity
         return d
 
     # ------------------------------------------------------------------

@@ -116,3 +116,49 @@ class TestRuntimeCommands:
                           "--limit", "5")
         assert rc == 0
         assert "committed" in out and "cumtime" in out
+
+
+class TestObserveCommands:
+    def test_run_with_observe(self, capsys):
+        rc, out = run_cli(capsys, "run", "gzip", "--scale", "0.1",
+                          "--observe", "cpi")
+        assert rc == 0 and "CPI stack" in out
+
+    def test_run_observe_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_OBSERVE", "cpi")
+        rc, out = run_cli(capsys, "run", "gzip", "--scale", "0.1")
+        assert rc == 0 and "CPI stack" in out
+
+    def test_run_observe_off_by_default(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_OBSERVE", raising=False)
+        rc, out = run_cli(capsys, "run", "gzip", "--scale", "0.1")
+        assert rc == 0 and "CPI stack" not in out
+
+    def test_why(self, capsys):
+        rc, out = run_cli(capsys, "why", "bzip2", "--scale", "0.1")
+        assert rc == 0
+        assert "CPI stack" in out and "dominant reason" in out
+
+    def test_pipeview_text(self, capsys):
+        rc, out = run_cli(capsys, "pipeview", "gzip", "--scale", "0.05",
+                          "--limit", "16")
+        assert rc == 0
+        assert "F fetch" in out and out.count("|") >= 32
+
+    def test_pipeview_konata_file(self, capsys, tmp_path):
+        from repro.observe import parse_konata
+        out_file = tmp_path / "trace.kanata"
+        rc, _ = run_cli(capsys, "pipeview", "gzip", "--scale", "0.05",
+                        "--format", "konata", "--out", str(out_file))
+        assert rc == 0
+        parsed = parse_konata(out_file.read_text())
+        assert parsed and all("F" in p["stages"] for p in parsed.values())
+
+    def test_pipeview_jsonl_stdout(self, capsys):
+        import json
+        rc, out = run_cli(capsys, "pipeview", "gzip", "--scale", "0.05",
+                          "--format", "jsonl", "--limit", "8")
+        assert rc == 0
+        lines = out.strip().splitlines()
+        assert len(lines) == 8
+        assert json.loads(lines[0])["seq"] == 0

@@ -176,3 +176,42 @@ class TestDeterminism:
         pooled = make_runner(cache, jobs=2).run_many(
             [("gzip", cfg), ("eon", cfg)])[0]
         assert serial.to_dict() == pooled.to_dict()
+
+    def test_figure_output_identical_with_observer(self, tmp_path):
+        """Observation must not perturb results: the rendered figure is
+        byte-identical with observers attached vs detached, serial vs
+        pooled."""
+        from repro.experiments import fig05
+        from repro.experiments.common import Runner
+
+        def render(observe, jobs, sub):
+            cache = ResultCache(root=str(tmp_path / sub), enabled=True)
+            runner = Runner(scale=SCALE, seed=SEED, jobs=jobs, cache=cache,
+                            observe=observe)
+            return fig05.compute(runner).render(), runner
+
+        bare, _ = render(None, 1, "bare")
+        observed, runner = render("cpi,audit", 2, "obs")
+        assert observed == bare
+        # ... and the observations themselves arrived.
+        merged = runner.merged_observations()
+        assert merged["cpi"]["cycles"] > 0
+        assert merged["audit"]["events"]
+
+    def test_observing_runner_payload_determinism(self, tmp_path):
+        """Merged payloads agree between serial and pooled execution."""
+        cfg = ci(1, 512)
+        points = [("eon", cfg), ("gzip", cfg), ("mcf", cfg)]
+
+        def observed_run(jobs, sub):
+            cache = ResultCache(root=str(tmp_path / sub), enabled=True)
+            r = ParallelRunner(scale=SCALE, seed=SEED, jobs=jobs,
+                               cache=cache, observe="cpi,audit")
+            stats = r.run_many(points)
+            return stats, r.merged_observations()
+
+        serial_stats, serial_obs = observed_run(1, "s")
+        pooled_stats, pooled_obs = observed_run(3, "p")
+        assert [s.to_dict() for s in serial_stats] \
+            == [s.to_dict() for s in pooled_stats]
+        assert serial_obs == pooled_obs
