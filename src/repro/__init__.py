@@ -14,19 +14,22 @@ from typing import Optional
 
 from . import isa, observe, trace, uarch, workloads
 from . import runtime
-from .ci import CIEngine
+from .ci import CIEngine, MechanismPipeline, PolicySpec
 from .isa import Program, assemble
 from .observe import Observer
-from .uarch import Core, Hooks, ProcessorConfig, SimStats, simulate
+from .uarch import Core, Hooks, MechanismHooks, ProcessorConfig, SimStats, simulate
 from .uarch import config as configs
 from .workloads import build_program, build_suite, kernel_names
 
 __version__ = "1.0.0"
 
 
-def hooks_for(cfg: ProcessorConfig) -> Optional[Hooks]:
-    """The mechanism hooks matching ``cfg.ci_policy`` (None for baseline)."""
-    return CIEngine() if cfg.ci_policy else None
+def hooks_for(cfg: ProcessorConfig) -> Optional[MechanismHooks]:
+    """The mechanism hooks matching ``cfg.ci_policy`` (None for baseline).
+
+    The policy name resolves against the registry at attach time, so a
+    policy registered after config construction still works."""
+    return MechanismPipeline() if cfg.ci_policy else None
 
 
 def run_program(program: Program, cfg: Optional[ProcessorConfig] = None,
@@ -51,6 +54,9 @@ __all__ = [
     "CIEngine",
     "Core",
     "Hooks",
+    "MechanismHooks",
+    "MechanismPipeline",
+    "PolicySpec",
     "ProcessorConfig",
     "Program",
     "SimStats",

@@ -1,78 +1,66 @@
-"""CIEngine — the paper's mechanism, attached to the core's hook points.
+"""Replica management — SRSMT allocation, execution, validation (steps 3–4).
 
-Policies:
+The fourth component of the mechanism pipeline: once the selector marks
+a strided load (or the dependence-propagation rule reaches one of its
+consumers), the replica manager allocates an SRSMT entry, pre-executes
+the replica batch with leftover issue slots, and validates later dynamic
+instances against the precomputed results so they can skip execution.
 
-* ``"ci"``    — the proposed scheme: MBS-filtered hard branches arm the
-  CRP on misprediction; control-independent instructions past the
-  re-convergent point select their backward-slice strided loads for
-  speculative vectorization; replicas execute ahead with leftover
-  resources, survive branch recoveries, and validated re-fetches skip
-  execution (steps 1–4 of Section 2.3).
-* ``"ci-iw"`` — squash reuse: control independence only for results
-  already inside the window at recovery (Figure 10's ci-iw).
-* ``"vect"``  — the full dynamic-vectorization comparator of [12]: every
-  confident strided load (and its dependence-graph successors) is
-  vectorized, with no control-independence filtering (Figure 14).
+Two operating modes, chosen by the policy registry:
 
-Validation is value-checked on top of the paper's producer-seq and stride
-checks (DESIGN.md §5): a replica is reused only if its precomputed value
-matches the oracle result, so the simplified model never commits wrong
-values — mismatches count as validation failures.
+* ``greedy=False`` — the paper's scheme: replicas are lowest-priority
+  (allocation headroom, never blocks dispatch), one rename register per
+  replica, chronically failing PCs back off;
+* ``greedy=True``  — the full dynamic-vectorization comparator [12]:
+  vector instructions live in the pipeline (dispatch *blocks* until the
+  whole register set allocates), carry double register cost, tolerate 4x
+  the store conflicts, and never back off — which is exactly why the
+  scheme collapses at small register files (Figure 14).
+
+Validation is value-checked on top of the paper's producer-seq and
+stride checks (DESIGN.md §5): a replica is reused only if its
+precomputed value matches the oracle result, so the simplified model
+never commits wrong values — mismatches count as validation failures.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List
 
-from ..isa import ALU_EVAL, Instruction, Op
-from ..uarch.core import Core, Hooks, PortState
-from ..uarch.rob import DynInst
-from .events import CIEvent
-from .mbs import MBS
-from .reconverge import CRP, NRBQ, estimate_reconvergent_point
-from .specmem import SpecDataMemory
-from .squash_reuse import SquashReuseBuffer
+from ..isa import ALU_EVAL
 from .srsmt import SCALAR, SELF, VEC, Operand, ReplicaScheduler, SRSMT, SRSMTEntry
-from .stride import StridePredictor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..uarch.core import PortState
+    from ..uarch.rob import DynInst
+    from .pipeline import MechanismPipeline
 
 
-class CIEngine(Hooks):
-    """Control-flow independence via dynamic vectorization."""
+class ReplicaManager:
+    """SRSMT + replica scheduler + validation."""
 
-    def __init__(self) -> None:
-        self.core: Optional[Core] = None
-        self.obs = None
+    kind = "ci"
 
-    # ------------------------------------------------------------------
-    def attach(self, core: Core) -> None:
+    def __init__(self, greedy: bool = False):
+        self.greedy = greedy
+
+    def attach(self, pipeline: "MechanismPipeline") -> None:
+        self.pipeline = pipeline
+        core = pipeline.core
+        cfg = pipeline.cfg
         self.core = core
-        self.obs = getattr(core, "_obs", None)
-        cfg = core.cfg
         self.cfg = cfg
-        self.policy = cfg.ci_policy
-        self.stats = core.stats
-        self.mbs = MBS(cfg.mbs_sets, cfg.mbs_ways)
-        self.stride = StridePredictor(cfg.stride_sets, cfg.stride_ways)
-        self.nrbq = NRBQ(cfg.nrbq_size)
-        self.crp = CRP()
+        self.obs = pipeline.obs
+        self.stats = pipeline.stats
+        self.stride = pipeline.selector.stride
         self.srsmt = SRSMT(cfg.srsmt_sets, cfg.srsmt_ways,
                            release=self._release_entry_regs)
         self.scheduler = ReplicaScheduler(
             load_latency=core.hierarchy.load_latency,
             mem_read=lambda addr: core.mem.get(addr, 0))
-        self.spec_mem: Optional[SpecDataMemory] = None
-        if cfg.spec_mem_size is not None:
-            self.spec_mem = SpecDataMemory(
-                cfg.spec_mem_size, cfg.spec_mem_latency,
-                cfg.spec_mem_read_ports, cfg.spec_mem_write_ports)
-        self.reuse_buffer = SquashReuseBuffer(capacity=cfg.window_size)
-        self._reconv_cache: Dict[int, int] = {}
-        self._event: Optional[CIEvent] = None
-        self._crp_decodes_since_reached = 0
-        self._crp_decodes_since_armed = 0
         self._vect_wait = False
         #: scalar registers charged per replica (2 for the vect comparator)
-        self._vect_factor = 2 if self.policy == "vect" else 1
+        self._vect_factor = 2 if self.greedy else 1
         #: consecutive validation failures per PC; instructions that can
         #: never validate (loop-variant scalar operands) stop re-vectorizing
         self._fail_streak: Dict[int, int] = {}
@@ -81,14 +69,14 @@ class CIEngine(Hooks):
     # Resource accounting for replica destinations.
     # ------------------------------------------------------------------
     def _alloc_replicas(self, want: int) -> int:
-        if self.spec_mem is not None:
-            got = self.spec_mem.alloc_up_to(want)
+        spec_mem = self.pipeline.spec_mem
+        if spec_mem is not None:
+            got = spec_mem.alloc_up_to(want)
             if got < want:
                 self.stats.spec_mem_alloc_failures += 1
             return got
-        assert self.core is not None
         fl = self.core.freelist
-        if self.policy == "vect":
+        if self.greedy:
             # The full dynamic-vectorization comparator [12] is greedy: its
             # vector instructions live in the pipeline, carry full vector
             # state (we charge two scalar registers per replica), and
@@ -112,109 +100,19 @@ class CIEngine(Hooks):
         The greedy comparator [12] keeps re-vectorizing conflicting loads
         far longer (4x), one source of its extra useless speculation."""
         base = self.cfg.ci_conflict_blacklist
-        return base * 4 if self.policy == "vect" else base
+        return base * 4 if self.greedy else base
 
     def _release_regs(self, n: int) -> None:
         if n <= 0:
             return
-        if self.spec_mem is not None:
-            self.spec_mem.release(n)
+        spec_mem = self.pipeline.spec_mem
+        if spec_mem is not None:
+            spec_mem.release(n)
         else:
-            assert self.core is not None
             self.core.freelist.release(n)
 
     def _release_entry_regs(self, entry: SRSMTEntry) -> None:
         self._release_regs(entry.regs_held)
-
-    # ------------------------------------------------------------------
-    # Static re-convergence estimates (cached per branch PC).
-    # ------------------------------------------------------------------
-    def _reconv(self, instr: Instruction) -> int:
-        pc = instr.pc
-        est = self._reconv_cache.get(pc)
-        if est is None:
-            est = estimate_reconvergent_point(self.core.program, instr)
-            self._reconv_cache[pc] = est
-        return est
-
-    # ------------------------------------------------------------------
-    # Dispatch hook: masks, selection, validation, vectorization.
-    # ------------------------------------------------------------------
-    def on_dispatch(self, inst: DynInst) -> None:
-        instr = inst.instr
-        if self.policy in ("ci", "ci-iw"):
-            self._track_masks(inst)
-        if self.policy == "ci-iw":
-            if instr.rd is not None and not instr.is_store:
-                rec = self.reuse_buffer.match(inst.pc, inst.result)
-                if rec is not None:
-                    inst.validated = True
-                    self.stats.replica_validations += 1
-                    self._credit_reuse(rec.event)
-                    if self.obs is not None:
-                        self.obs.on_validation(inst.pc, rec.event, True,
-                                               "squash-reuse",
-                                               self.core.cycle)
-            return
-        if self.policy in ("ci", "vect"):
-            if instr.is_load and instr.rd is not None:
-                self._dispatch_load(inst)
-            elif instr.rd is not None and instr.op in ALU_EVAL:
-                self._dispatch_alu(inst)
-
-    # -- NRBQ / CRP mask machinery (step 2) ------------------------------
-    def _track_masks(self, inst: DynInst) -> None:
-        instr = inst.instr
-        if instr.is_cond_branch:
-            self.nrbq.on_branch_fetch(inst.pc, self._reconv(instr), inst.seq)
-        else:
-            self.nrbq.on_instruction_fetch(instr.rd)
-        if not self.crp.active:
-            return
-        past_reconv = self.crp.on_decode(inst.pc, instr.rd)
-        if not self.crp.active:
-            return
-        if past_reconv:
-            self._crp_decodes_since_reached += 1
-            if self.policy == "ci":
-                self._select_ci_instruction(inst)
-            if self._crp_decodes_since_reached > self.cfg.ci_select_window:
-                self.crp.disarm()
-                if self.obs is not None:
-                    self.obs.on_crp_disarm("window-exhausted",
-                                           self.core.cycle)
-        else:
-            self._crp_decodes_since_armed += 1
-            if self._crp_decodes_since_armed > 4 * self.cfg.ci_select_window:
-                self.crp.disarm()  # estimate was never reached: give up
-                if self.obs is not None:
-                    self.obs.on_crp_disarm("never-reached", self.core.cycle)
-
-    def _select_ci_instruction(self, inst: DynInst) -> None:
-        """Step 2: a post-re-convergence instruction with clean sources is
-        control independent; select the strided loads it depends on."""
-        instr = inst.instr
-        if not instr.srcs and instr.rd is None:
-            return
-        if not self.crp.sources_clean(instr.srcs):
-            return
-        ev = self._event
-        obs = self.obs
-        if ev is not None and not ev.counted_selected:
-            ev.selected = True
-            ev.counted_selected = True
-            self.stats.ci_selected += 1
-            if obs is not None:
-                obs.on_ci_selected(ev, inst.pc, self.core.cycle)
-        # Select every strided load in the backward slice (rename table's
-        # stridedPC extension) for vectorization next time it is fetched.
-        rename = self.core.rename
-        for r in instr.srcs:
-            for lpc in rename.strided_pcs[r]:
-                ok = self.stride.mark_selected(
-                    lpc, ev, conflict_blacklist=self.cfg.ci_conflict_blacklist)
-                if obs is not None:
-                    obs.on_slice_marked(ev, lpc, ok, self.core.cycle)
 
     def _chronically_failing(self, pc: int) -> bool:
         """Gate for PCs whose validations (almost) never succeed.
@@ -228,7 +126,7 @@ class CIEngine(Hooks):
             return True
         return False
 
-    def _vect_pc_of(self, inst: DynInst, r: int):
+    def _vect_pc_of(self, inst: "DynInst", r: int):
         """The V/S+Seq rename state of ``r`` as *this* instruction read it.
 
         The core renames the destination before the hook runs, so for a
@@ -238,8 +136,17 @@ class CIEngine(Hooks):
             return inst.rename_undo[2]
         return self.core.rename.vect_pc[r]
 
-    # -- loads: stride propagation, validation, replication --------------
-    def _dispatch_load(self, inst: DynInst) -> None:
+    # ------------------------------------------------------------------
+    # Dispatch: stride propagation, validation, replication.
+    # ------------------------------------------------------------------
+    def on_dispatch(self, inst: "DynInst") -> None:
+        instr = inst.instr
+        if instr.is_load and instr.rd is not None:
+            self._dispatch_load(inst)
+        elif instr.rd is not None and instr.op in ALU_EVAL:
+            self._dispatch_alu(inst)
+
+    def _dispatch_load(self, inst: "DynInst") -> None:
         instr = inst.instr
         rename = self.core.rename
         se = self.stride.confident(inst.pc)
@@ -256,7 +163,7 @@ class CIEngine(Hooks):
         blacklist = self._conflict_blacklist()
         wants_vector = (
             se is not None
-            and (self.policy == "vect" or se.selected)
+            and (self.greedy or se.selected)
             and not (blacklist and se.conflicts >= blacklist))
         if wants_vector:
             created = self._create_load_entry(inst, se.stride,
@@ -268,7 +175,7 @@ class CIEngine(Hooks):
         # a vectorized instruction (step 3's dependence-propagation rule).
         vpc = self._vect_pc_of(inst, instr.rs1)
         if vpc is not None and vpc != inst.pc \
-                and (self.policy == "vect"
+                and (self.greedy
                      or not self._chronically_failing(inst.pc)):
             # The conflict blacklist covers gather loads too: their stride
             # entry exists (every committed load trains the predictor) even
@@ -281,15 +188,16 @@ class CIEngine(Hooks):
             if prod is not None and self._create_dep_load_entry(inst, prod):
                 rename.vect_pc[instr.rd] = inst.pc
 
-    def _create_dep_load_entry(self, inst: DynInst, prod) -> bool:
+    def _create_dep_load_entry(self, inst: "DynInst", prod) -> bool:
         nregs = self._alloc_replicas(self.cfg.replicas)
         if nregs == 0:
             if self.obs is not None:
                 self.obs.on_srsmt_alloc_fail(inst.pc, prod.event, "no-regs",
                                              self.core.cycle)
             return False
+        spec_mem = self.pipeline.spec_mem
         entry = SRSMTEntry(inst.pc, inst.instr, nregs,
-                           storage="specmem" if self.spec_mem else "rf")
+                           storage="specmem" if spec_mem else "rf")
         entry.regs_held = nregs * self._vect_factor
         entry.addr_operand = Operand(VEC, producer=prod,
                                      producer_generation=prod.generation,
@@ -310,15 +218,16 @@ class CIEngine(Hooks):
                                          self.core.cycle)
         return True
 
-    def _create_load_entry(self, inst: DynInst, stride: int, event) -> bool:
+    def _create_load_entry(self, inst: "DynInst", stride: int, event) -> bool:
         nregs = self._alloc_replicas(self.cfg.replicas)
         if nregs == 0:
             if self.obs is not None:
                 self.obs.on_srsmt_alloc_fail(inst.pc, event, "no-regs",
                                              self.core.cycle)
             return False
+        spec_mem = self.pipeline.spec_mem
         entry = SRSMTEntry(inst.pc, inst.instr, nregs,
-                           storage="specmem" if self.spec_mem else "rf")
+                           storage="specmem" if spec_mem else "rf")
         entry.regs_held = nregs * self._vect_factor
         entry.set_load_pattern(inst.eff_addr, stride)
         entry.event = event
@@ -338,7 +247,7 @@ class CIEngine(Hooks):
         return True
 
     # -- ALU dependents: vectorize when a source is vectorized ------------
-    def _dispatch_alu(self, inst: DynInst) -> None:
+    def _dispatch_alu(self, inst: "DynInst") -> None:
         instr = inst.instr
         rename = self.core.rename
         entry = self.srsmt.lookup(inst.pc)
@@ -384,8 +293,9 @@ class CIEngine(Hooks):
                 self.obs.on_srsmt_alloc_fail(inst.pc, event, "no-regs",
                                              self.core.cycle)
             return
+        spec_mem = self.pipeline.spec_mem
         entry = SRSMTEntry(inst.pc, instr, nregs,
-                           storage="specmem" if self.spec_mem else "rf")
+                           storage="specmem" if spec_mem else "rf")
         entry.regs_held = nregs * self._vect_factor
         entry.operands = operands
         entry.event = event
@@ -405,7 +315,7 @@ class CIEngine(Hooks):
         rename.vect_pc[instr.rd] = inst.pc
 
     # -- validation (step 4) ----------------------------------------------
-    def _validate(self, inst: DynInst, entry: SRSMTEntry) -> bool:
+    def _validate(self, inst: "DynInst", entry: SRSMTEntry) -> bool:
         """Try to reuse replica ``entry.decode`` for this dynamic instance.
 
         On success the instruction skips execution.  On failure the entry
@@ -427,7 +337,7 @@ class CIEngine(Hooks):
                 se = self.stride.confident(inst.pc)
                 blacklist = self.cfg.ci_conflict_blacklist
                 if se is not None \
-                        and (self.policy == "vect" or se.selected) \
+                        and (self.greedy or se.selected) \
                         and not (blacklist and se.conflicts >= blacklist):
                     self._create_load_entry(inst, se.stride, event)
             # ALU entries are recreated by the dependent-vectorization
@@ -477,49 +387,20 @@ class CIEngine(Hooks):
         inst.validated = True
         inst.validated_entry = (entry, entry.generation)
         self.stats.replica_validations += 1
-        self._credit_reuse(entry.event)
+        self.pipeline.credit_reuse(entry.event)
         return True
 
-    def _credit_reuse(self, event) -> None:
-        if isinstance(event, CIEvent) and not event.counted_reused:
-            event.reused = True
-            event.counted_reused = True
-            self.stats.ci_reused += 1
-
-    def validated_extra_latency(self, inst: DynInst) -> int:
-        if self.spec_mem is None:
-            return 0
-        self.stats.copy_uops += 1
-        # Dependents read the copy through the bypass network as it drains
-        # from the speculative memory; with the nominal 2-cycle memory the
-        # visible cost is read-port queueing only (the paper reports the
-        # copy path as non-critical: a 5-cycle memory costs just ~3%).
-        return max(0, self.spec_mem.copy_latency(self.core.cycle) - 2)
-
     # ------------------------------------------------------------------
-    # Branch resolution / recovery.
+    # Recovery / commit.
     # ------------------------------------------------------------------
-    def on_branch_resolved(self, inst: DynInst) -> None:
-        inst.hard_branch = (self.mbs.is_hard(inst.pc)
-                            if self.cfg.ci_mbs_filter else True)
-        if self.obs is not None:
-            self.obs.on_mbs_verdict(inst.pc, inst.hard_branch,
-                                    inst.mispredicted, self.core.cycle)
-
-    def on_recovery(self, pivot: DynInst, squashed: List[DynInst],
-                    is_branch: bool) -> None:
-        if is_branch and self.policy in ("ci", "ci-iw") \
-                and pivot.hard_branch:
-            self._arm_crp(pivot, squashed)
-        if self.policy in ("ci", "ci-iw"):
-            self.nrbq.squash_younger(pivot.seq)
-        if self.policy in ("ci", "vect") and is_branch:
-            dead = self.srsmt.on_recovery()
-            if self.cfg.ci_daec:
-                for entry in dead:
-                    self.srsmt.deallocate(entry)
-            if self.cfg.ci_recovery_repair:
-                self._repair_decode_cursors()
+    def on_recovery(self) -> None:
+        """A branch recovery happened: squash-younger the SRSMT."""
+        dead = self.srsmt.on_recovery()
+        if self.cfg.ci_daec:
+            for entry in dead:
+                self.srsmt.deallocate(entry)
+        if self.cfg.ci_recovery_repair:
+            self._repair_decode_cursors()
 
     def _repair_decode_cursors(self) -> None:
         """Advance decode past validations that survived the squash.
@@ -543,61 +424,10 @@ class CIEngine(Hooks):
             if n:
                 entry.decode = min(entry.nregs, entry.commit + n)
 
-    def _arm_crp(self, pivot: DynInst, squashed: List[DynInst]) -> None:
-        nrbq_entry = self.nrbq.find(pivot.seq)
-        if nrbq_entry is None:
-            if self.obs is not None:
-                self.obs.on_ci_untracked(pivot.pc, pivot.seq,
-                                         self.core.cycle)
-            return  # branch was not tracked (NRBQ full)
-        self.stats.ci_events += 1
-        event = CIEvent(branch_pc=pivot.pc, seq=pivot.seq)
-        self._event = event
-        if self.obs is not None:
-            self.obs.on_ci_event(event, pivot.pc, pivot.seq, self.core.cycle)
-        mask0 = self._wrong_path_mask(nrbq_entry.reconv_pc, squashed)
-        if self.policy == "ci-iw":
-            n = self.reuse_buffer.harvest(nrbq_entry.reconv_pc, mask0,
-                                          squashed, event)
-            if n and not event.counted_selected:
-                event.selected = True
-                event.counted_selected = True
-                self.stats.ci_selected += 1
-                if self.obs is not None:
-                    self.obs.on_ci_selected(event, pivot.pc, self.core.cycle)
-        else:
-            self.crp.arm(pivot.pc, pivot.seq, nrbq_entry.reconv_pc, mask0)
-            self._crp_decodes_since_reached = 0
-            self._crp_decodes_since_armed = 0
-
-    @staticmethod
-    def _wrong_path_mask(reconv_pc: int, squashed: List[DynInst]) -> int:
-        """Registers written on the wrong path *before* the re-convergent
-        point was reached (Section 2.3.2's CRP mask semantics: "written
-        since the branch was fetched and before the re-convergent point is
-        reached, in either the wrong or the correct path").  Wrong-path
-        writes past re-convergence do not dirty the mask — those are the
-        very instructions whose results control independence preserves."""
-        mask = 0
-        for inst in squashed:
-            if inst.pc == reconv_pc:
-                break
-            rd = inst.instr.rd
-            if rd is not None:
-                mask |= 1 << rd
-        return mask
-
-    # ------------------------------------------------------------------
-    # Commit hooks.
-    # ------------------------------------------------------------------
-    def on_commit(self, inst: DynInst) -> None:
+    def on_commit(self, inst: "DynInst") -> None:
+        """A non-branch instruction retired: train + advance cursors."""
         instr = inst.instr
-        if instr.is_cond_branch:
-            self.mbs.update(inst.pc, inst.actual_taken)
-            if self.policy in ("ci", "ci-iw"):
-                self.nrbq.on_branch_retire(inst.seq)
-            return
-        if instr.is_load and self.policy in ("ci", "vect"):
+        if instr.is_load:
             self.stride.update(inst.pc, inst.eff_addr)
         if inst.validated and inst.validated_entry is not None:
             entry, generation = inst.validated_entry
@@ -607,9 +437,7 @@ class CIEngine(Hooks):
                 # deallocation/re-batch releases the set.
                 entry.commit += 1
 
-    def on_store_commit(self, inst: DynInst) -> bool:
-        if self.policy not in ("ci", "vect"):
-            return False
+    def on_store_commit(self, inst: "DynInst") -> bool:
         conflict = False
         addr = inst.eff_addr
         exact = self.cfg.ci_exact_range_check
@@ -657,11 +485,10 @@ class CIEngine(Hooks):
             return True
         return False
 
-    def on_cycle(self, leftover_issue_slots: int, ports: PortState) -> None:
-        if self.policy not in ("ci", "vect"):
-            return
+    def on_cycle(self, leftover_issue_slots: int, ports: "PortState") -> None:
         now = self.core.cycle
         self.scheduler.drain_completions(now)
-        max_writes = (self.spec_mem.write_ports if self.spec_mem else None)
+        spec_mem = self.pipeline.spec_mem
+        max_writes = (spec_mem.write_ports if spec_mem else None)
         self.scheduler.issue(now, leftover_issue_slots, ports, self.stats,
                              max_mem_writes=max_writes)

@@ -1,0 +1,89 @@
+"""Slice selection — which strided loads get vectorized (steps 2–3).
+
+The third component of the mechanism pipeline.  It owns the stride
+predictor and decides *which* confident strided loads are worth
+replicating:
+
+* :class:`SliceSelector`       — the paper's CI masking: only loads in
+  the backward slice of a control-independent instruction (clean sources
+  past the re-convergent point of an armed reuse event) are selected,
+  via the rename table's stridedPC extension and the S flag;
+* :class:`GreedySliceSelector` — the full dynamic-vectorization
+  comparator [12]: *every* confident strided load is vectorized, no
+  control-independence filtering at all.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .stride import StridePredictor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..uarch.rob import DynInst
+    from .pipeline import MechanismPipeline
+
+
+class SliceSelector:
+    """CI masking: select strided loads in control-independent slices."""
+
+    kind = "ci"
+
+    #: greedy selectors vectorize unselected confident loads too
+    greedy = False
+
+    def attach(self, pipeline: "MechanismPipeline") -> None:
+        self.pipeline = pipeline
+        cfg = pipeline.cfg
+        self.cfg = cfg
+        self.obs = pipeline.obs
+        self.stats = pipeline.stats
+        self.stride = StridePredictor(cfg.stride_sets, cfg.stride_ways)
+
+    def on_ci_candidate(self, inst: "DynInst") -> None:
+        """Step 2: a post-re-convergence instruction with clean sources is
+        control independent; select the strided loads it depends on.
+
+        Called by the tracker for every decode past an armed CRP's
+        re-convergent point."""
+        instr = inst.instr
+        if not instr.srcs and instr.rd is None:
+            return
+        tracker = self.pipeline.tracker
+        assert tracker is not None  # candidates only come from a tracker
+        if not tracker.crp.sources_clean(instr.srcs):
+            return
+        ev = tracker.event
+        obs = self.obs
+        if ev is not None and not ev.counted_selected:
+            ev.selected = True
+            ev.counted_selected = True
+            self.stats.ci_selected += 1
+            if obs is not None:
+                obs.on_ci_selected(ev, inst.pc, self.pipeline.core.cycle)
+        # Select every strided load in the backward slice (rename table's
+        # stridedPC extension) for vectorization next time it is fetched.
+        rename = self.pipeline.core.rename
+        for r in instr.srcs:
+            for lpc in rename.strided_pcs[r]:
+                ok = self.stride.mark_selected(
+                    lpc, ev, conflict_blacklist=self.cfg.ci_conflict_blacklist)
+                if obs is not None:
+                    obs.on_slice_marked(ev, lpc, ok,
+                                        self.pipeline.core.cycle)
+
+    def on_load_retire(self, pc: int, eff_addr: int) -> None:
+        """Train the stride predictor on a committed load."""
+        self.stride.update(pc, eff_addr)
+
+
+class GreedySliceSelector(SliceSelector):
+    """No CI masking: every confident strided load is a candidate [12]."""
+
+    kind = "greedy"
+    greedy = True
+
+    def on_ci_candidate(self, inst: "DynInst") -> None:
+        """Greedy selection has no notion of CI candidates (and no
+        tracker to produce them); selection happens implicitly in the
+        replica manager's confidence check."""

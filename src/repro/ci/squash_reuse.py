@@ -12,7 +12,11 @@ check.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..uarch.rob import DynInst
+    from .pipeline import MechanismPipeline
 
 
 @dataclass
@@ -78,3 +82,49 @@ class SquashReuseBuffer:
         if rec.result != result:
             return None
         return rec
+
+
+class SquashReuseUnit:
+    """Pipeline component wrapping the reuse buffer (the ``ci-iw`` policy).
+
+    Replaces the selector + replica manager: on a hard misprediction the
+    tracker hands it the squashed wrong path to harvest, and at dispatch
+    matching correct-path re-fetches are validated against the harvested
+    results instead of executing.
+    """
+
+    kind = "squash-reuse"
+
+    def attach(self, pipeline: "MechanismPipeline") -> None:
+        self.pipeline = pipeline
+        self.obs = pipeline.obs
+        self.stats = pipeline.stats
+        self.buffer = SquashReuseBuffer(capacity=pipeline.cfg.window_size)
+
+    def harvest(self, reconv_pc: int, mask0: int,
+                squashed: List["DynInst"], event,
+                pivot: "DynInst") -> None:
+        """Harvest reusable results past the re-convergent point."""
+        n = self.buffer.harvest(reconv_pc, mask0, squashed, event)
+        if n and not event.counted_selected:
+            event.selected = True
+            event.counted_selected = True
+            self.stats.ci_selected += 1
+            if self.obs is not None:
+                self.obs.on_ci_selected(event, pivot.pc,
+                                        self.pipeline.core.cycle)
+
+    def on_dispatch(self, inst: "DynInst") -> None:
+        """Validate a correct-path re-fetch against a harvested result."""
+        instr = inst.instr
+        if instr.rd is None or instr.is_store:
+            return
+        rec = self.buffer.match(inst.pc, inst.result)
+        if rec is None:
+            return
+        inst.validated = True
+        self.stats.replica_validations += 1
+        self.pipeline.credit_reuse(rec.event)
+        if self.obs is not None:
+            self.obs.on_validation(inst.pc, rec.event, True, "squash-reuse",
+                                   self.pipeline.core.cycle)

@@ -4,6 +4,7 @@ Commands
 ========
 
 ``run``      simulate one kernel (or an assembly file) under a named scheme
+``policies`` list the mechanism policy registry (``--policy`` values)
 ``suite``    run all 12 kernels under one scheme and print the table
 ``figure``   regenerate one of the paper's figures (fig04 ... fig14, intext)
 ``ablation`` run one of the design-choice ablations
@@ -45,14 +46,24 @@ SCHEMES = ("scal", "wb", "ci", "ci-iw", "vect")
 def make_config(args: argparse.Namespace) -> ProcessorConfig:
     regs = INF_REGS if args.regs == "inf" else int(args.regs)
     scheme = args.scheme
-    if scheme == "scal":
-        cfg = scal(args.ports, regs)
-    elif scheme == "wb":
-        cfg = wb(args.ports, regs)
-    elif scheme in ("ci", "ci-iw", "vect"):
-        cfg = ci(args.ports, regs, replicas=args.replicas, policy=scheme)
-    else:  # pragma: no cover - argparse restricts choices
-        raise SystemExit(f"unknown scheme {scheme!r}")
+    policy = getattr(args, "policy", None)
+    try:
+        if policy is not None:
+            # An explicit registry policy wins over --scheme.
+            cfg = ci(args.ports, regs, replicas=args.replicas, policy=policy)
+        elif scheme == "scal":
+            cfg = scal(args.ports, regs)
+        elif scheme == "wb":
+            cfg = wb(args.ports, regs)
+        elif scheme in ("ci", "ci-iw", "vect"):
+            cfg = ci(args.ports, regs, replicas=args.replicas, policy=scheme)
+        else:  # pragma: no cover - argparse restricts choices
+            raise SystemExit(f"unknown scheme {scheme!r}")
+    except ValueError as exc:  # unknown --policy: registry suggests fixes
+        print(f"error: {exc}", file=sys.stderr)
+        print("hint: 'repro policies' lists the registered policies",
+              file=sys.stderr)
+        raise SystemExit(2) from None
     if args.spec_mem:
         cfg = with_spec_mem(cfg, args.spec_mem)
     return cfg
@@ -61,6 +72,9 @@ def make_config(args: argparse.Namespace) -> ProcessorConfig:
 def _add_machine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scheme", choices=SCHEMES, default="ci",
                    help="machine configuration (default: ci)")
+    p.add_argument("--policy", default=None, metavar="NAME",
+                   help="mechanism policy from the registry (overrides "
+                        "--scheme; see 'repro policies')")
     p.add_argument("--regs", default="512",
                    help="physical registers (int or 'inf')")
     p.add_argument("--ports", type=int, default=1, help="L1 data ports")
@@ -93,13 +107,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     spec = args.observe if args.observe is not None \
         else os.environ.get("REPRO_OBSERVE")
     observer = make_observer(spec)
-    st = run_program(prog, make_config(args), observer=observer)
+    cfg = make_config(args)
+    st = run_program(prog, cfg, observer=observer)
     print(f"program            : {prog.name} ({len(prog)} static instrs)")
     print(f"committed / cycles : {st.committed} / {st.cycles}")
     print(f"IPC                : {st.ipc:.3f}")
     print(f"branch mispredicts : {st.mispredicts} "
           f"({st.mispredict_rate:.1%} of conditional branches)")
-    if args.scheme in ("ci", "ci-iw", "vect"):
+    if cfg.ci_policy is not None:
         print(f"reused instructions: {st.committed_reused} "
               f"({st.reuse_fraction:.1%} of committed)")
         print(f"replicas created   : {st.replicas_created} "
@@ -174,8 +189,9 @@ def cmd_suite(args: argparse.Namespace) -> int:
         rows.append([name, st.ipc, f"{st.mispredict_rate:.1%}",
                      f"{st.reuse_fraction:.1%}", st.cycles])
     rows.append(["INT(hmean)", harmonic_mean(ipcs), "", "", ""])
+    label = cfg.ci_policy if cfg.ci_policy is not None else args.scheme
     print(format_table(
-        f"suite under {args.scheme} ({args.regs} regs, {args.ports} port(s))",
+        f"suite under {label} ({args.regs} regs, {args.ports} port(s))",
         ["kernel", "IPC", "mispred", "reuse", "cycles"], rows))
     print(runner.runtime_summary(), file=sys.stderr)
     return 0
@@ -246,6 +262,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
+    from .ci import policy_names
     from .experiments import ALL_ABLATIONS, ALL_EXPERIMENTS
     from .workloads import SUITE
     print("kernels:")
@@ -254,6 +271,27 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("figures:", ", ".join(ALL_EXPERIMENTS))
     print("ablations:", ", ".join(sorted(ALL_ABLATIONS)))
     print("schemes:", ", ".join(SCHEMES))
+    print("policies:", ", ".join(policy_names()))
+    return 0
+
+
+def cmd_policies(args: argparse.Namespace) -> int:
+    from .ci import all_policies
+    print("registered mechanism policies (use with --policy):")
+    print()
+    for spec in all_policies():
+        print(f"  {spec.name:16s} {spec.description}")
+        if args.verbose:
+            parts = [f"filter={spec.filter}"]
+            if spec.tracker:
+                parts.append(f"tracker={spec.tracker}")
+            if spec.selector:
+                parts.append(f"selector={spec.selector}")
+            if spec.replicas:
+                parts.append(f"replicas={spec.replicas}")
+            if spec.squash_reuse:
+                parts.append("squash_reuse")
+            print(f"  {'':16s} components: {', '.join(parts)}")
     return 0
 
 
@@ -340,6 +378,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     pl = sub.add_parser("list", help="list kernels/figures/ablations")
     pl.set_defaults(fn=cmd_list)
+
+    pp2 = sub.add_parser("policies",
+                         help="list registered mechanism policies")
+    pp2.add_argument("--verbose", "-v", action="store_true",
+                     help="also show each policy's component assembly")
+    pp2.set_defaults(fn=cmd_policies)
 
     pt = sub.add_parser("trace", help="trace-driven kernel profile")
     pt.add_argument("kernel")

@@ -8,7 +8,9 @@ the paper's design (and our implementation refinements) rely on:
 * ``abl_select_window`` — how far past re-convergence selection scans,
 * ``abl_headroom``   — the replicas' low-priority register allocation,
 * ``abl_bpred``      — mechanism benefit vs branch-predictor quality,
-* ``abl_frontend``   — mechanism benefit vs pipeline (refill) depth.
+* ``abl_frontend``   — mechanism benefit vs pipeline (refill) depth,
+* ``abl_policies``   — registry-assembled oracle policies vs the paper's
+  hardware (how much the finite MBS / static re-convergence leave behind).
 """
 
 from __future__ import annotations
@@ -200,6 +202,47 @@ def abl_frontend(runner: Optional[Runner] = None) -> Figure:
                   checks=checks)
 
 
+def abl_policies(runner: Optional[Runner] = None) -> Figure:
+    """Oracle component swaps from the policy registry.
+
+    Each variant replaces exactly one pipeline component of the paper's
+    ``ci`` policy with its idealised form — an offline-profiled bias
+    filter (``ci-oracle-mbs``) or exact post-dominator re-convergence
+    (``ci-ideal-reconv``) — bounding how much a better MBS or a dynamic
+    merge-point predictor (Pruett & Patt) could recover.
+    """
+    runner = runner or default_runner()
+    from ..ci import get_policy
+    rows = []
+    data = {}
+    for name in ("ci", "ci-oracle-mbs", "ci-ideal-reconv", "ci-iw"):
+        spec = get_policy(name)  # validates the name against the registry
+        cfg = replace(BASE, ci_policy=spec.name)
+        stats = runner.run_suite(cfg)
+        ipc = runner.suite_hmean_ipc(cfg)
+        events = sum(s.ci_events for s in stats.values())
+        reused = sum(s.ci_reused for s in stats.values())
+        data[name] = (ipc, events, reused)
+        rows.append([name, ipc, events, reused,
+                     f"{reused / max(1, events):.1%}"])
+    checks = [
+        Check("oracle bias filtering changes which events are examined",
+              data["ci-oracle-mbs"][1] != data["ci"][1]
+              or data["ci-oracle-mbs"][0] != data["ci"][0],
+              f"events {data['ci'][1]} vs {data['ci-oracle-mbs'][1]}"),
+        Check("ideal re-convergence performs at least on par with the "
+              "static heuristic",
+              data["ci-ideal-reconv"][0] >= data["ci"][0] * 0.97,
+              f"{data['ci'][0]:.3f} vs {data['ci-ideal-reconv'][0]:.3f}"),
+        Check("full ci beats window-limited reuse (ci-iw)",
+              data["ci"][0] >= data["ci-iw"][0]),
+    ]
+    return Figure("Ablation G", "policy registry: oracle component swaps "
+                  "(512 regs)",
+                  ["policy", "hmean IPC", "CI events", "reused",
+                   "reuse rate"], rows, checks=checks)
+
+
 ALL_ABLATIONS = {
     "refinements": abl_refinements,
     "mbs": abl_mbs,
@@ -207,6 +250,7 @@ ALL_ABLATIONS = {
     "headroom": abl_headroom,
     "bpred": abl_bpred,
     "frontend": abl_frontend,
+    "policies": abl_policies,
 }
 
 

@@ -1,8 +1,13 @@
 """Pipeline observability: event tracing, CPI stacks, mechanism audits.
 
 The subsystem has one producer side — hook points in the timing core
-(``uarch/core.py`` / ``uarch/frontend.py``) and the CI engine
-(``ci/engine.py``) that emit structured events — and three consumers:
+(``uarch/core.py`` / ``uarch/frontend.py``) and the mechanism pipeline
+(``ci/pipeline.py`` and its components) that emit structured events —
+and three consumers.  The event vocabulary itself is canonical here:
+:mod:`repro.observe.events` defines :class:`EventKind`, the
+kind→observer-hook table, and the shared record types
+(:class:`RetireEvent` for functional traces, :class:`ReuseEvent` for
+the mechanism's per-misprediction accounting).  The consumers:
 
 * :class:`PipeTracer`  — per-instruction stage timestamps; exports
   JSONL, the Konata/O3-pipeview log format, and an ASCII diagram
@@ -29,6 +34,14 @@ from .base import (
     observer_names,
 )
 from .cpistack import COMPONENTS, CPIStack
+from .events import (
+    MECHANISM_KINDS,
+    OBSERVER_HOOKS,
+    PIPELINE_KINDS,
+    EventKind,
+    RetireEvent,
+    ReuseEvent,
+)
 from .pipetrace import InstRecord, PipeTracer, parse_konata
 
 __all__ = [
@@ -36,12 +49,18 @@ __all__ = [
     "COMPONENTS",
     "CPIStack",
     "EventAudit",
+    "EventKind",
     "InstRecord",
+    "MECHANISM_KINDS",
     "MultiObserver",
     "NullObserver",
+    "OBSERVER_HOOKS",
     "Observer",
+    "PIPELINE_KINDS",
     "PipeTracer",
     "REASONS",
+    "RetireEvent",
+    "ReuseEvent",
     "make_observer",
     "merge_payloads",
     "observer_names",

@@ -1,11 +1,13 @@
-"""Observer protocol: structured pipeline + mechanism event channel.
+"""Observer protocol: delivery surface for the canonical event taxonomy.
 
-An :class:`Observer` receives two families of events:
+An :class:`Observer` receives the two callback families of
+:mod:`repro.observe.events` — one hook method per :class:`EventKind`
+(:data:`~repro.observe.events.OBSERVER_HOOKS`):
 
 * **pipeline events** from the timing core — one call per dynamic
   instruction per stage (fetch / dispatch / issue / writeback / commit /
   squash) plus one ``on_cycle_end`` per simulated cycle;
-* **mechanism events** from the CI engine — MBS verdicts, CRP arm /
+* **mechanism events** from the CI pipeline — MBS verdicts, CRP arm /
   reach / disarm, CI selection, SRSMT allocation, replica validation
   and store-coherence conflicts.
 
@@ -29,12 +31,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from .events import OBSERVER_HOOKS
+
 
 class Observer:
     """Base observer: every hook is a no-op; subclasses override a few.
 
     The base class doubles as the protocol definition — the core and the
-    CI engine only ever call methods defined here.
+    mechanism pipeline only ever call methods named in
+    :data:`~repro.observe.events.OBSERVER_HOOKS` (one per event kind),
+    which is asserted at import time below.
     """
 
     #: registry/payload key; subclasses override
@@ -77,13 +83,13 @@ class Observer:
     def on_cycle_end(self, core) -> None:
         """End of one simulated cycle (after all stages + hooks)."""
 
-    # -- mechanism channel (ci/engine.py) --------------------------------
+    # -- mechanism channel (ci/pipeline.py + components) -----------------
     def on_mbs_verdict(self, pc: int, hard: bool, mispredicted: bool,
                        cycle: int) -> None:
         """A conditional branch resolved; MBS classified it hard/easy."""
 
     def on_ci_event(self, event, pc: int, seq: int, cycle: int) -> None:
-        """A hard mispredicted branch armed the CRP (one CIEvent)."""
+        """A hard mispredicted branch was examined (one ReuseEvent)."""
 
     def on_ci_untracked(self, pc: int, seq: int, cycle: int) -> None:
         """A hard misprediction could not be examined (NRBQ full)."""
@@ -171,8 +177,13 @@ def _fan_out(method_name: str):
     return fan
 
 
-for _m in [m for m in vars(Observer)
-           if m.startswith("on_") or m in ("attach", "finalize")]:
+#: the delivery surface, derived from the canonical taxonomy so the hook
+#: protocol and the event vocabulary cannot drift apart
+HOOK_NAMES: tuple = tuple(OBSERVER_HOOKS.values()) + ("attach", "finalize")
+
+for _m in HOOK_NAMES:
+    assert callable(getattr(Observer, _m)), \
+        f"taxonomy hook {_m!r} missing from Observer"
     setattr(MultiObserver, _m, _fan_out(_m))
 
 

@@ -38,6 +38,12 @@ class SimJob:
     ``observe`` is an observer spec string (``repro.observe.make_observer``
     syntax); the worker builds the observer locally and ships its
     ``export()`` payload back with the stats.
+
+    ``policy`` optionally overrides ``cfg.ci_policy`` with a registry
+    policy *name* — a plain string, so the job stays picklable under any
+    start method and the worker resolves the spec against its own
+    registry.  The override is part of the resolved config, so the disk
+    cache keys on it like any other config field.
     """
 
     kernel: str
@@ -45,6 +51,14 @@ class SimJob:
     seed: int
     cfg: ProcessorConfig
     observe: Optional[str] = None
+    policy: Optional[str] = None
+
+    def resolved_cfg(self) -> ProcessorConfig:
+        """The effective configuration (with any policy override applied)."""
+        if self.policy is None:
+            return self.cfg
+        from dataclasses import replace
+        return replace(self.cfg, ci_policy=self.policy)
 
 
 class WorkerError(RuntimeError):
@@ -75,7 +89,7 @@ def _run_job(job: SimJob) -> Tuple[Optional[dict], Optional[dict],
         from ..workloads import build_program
         prog = build_program(job.kernel, job.scale, job.seed)
         observer = make_observer(job.observe)
-        stats = run_program(prog, job.cfg, observer=observer)
+        stats = run_program(prog, job.resolved_cfg(), observer=observer)
         payload = None if observer is None else observer.export()
         return stats.to_dict(), payload, None
     except Exception:

@@ -1,5 +1,10 @@
-"""Trace-driven front end: dynamic traces and offline analyses."""
+"""Trace-driven front end: dynamic traces and offline analyses.
 
+Trace records are the canonical :class:`~repro.observe.events.RetireEvent`
+(``TraceEvent`` remains as a compatibility alias).
+"""
+
+from ..observe.events import RetireEvent
 from .analysis import (
     BranchStats,
     LoadStats,
@@ -8,13 +13,16 @@ from .analysis import (
     check_reconvergence,
     profile_trace,
 )
-from .events import TraceEvent
 from .tracer import collect_trace
+
+#: compatibility alias for the pre-unification name
+TraceEvent = RetireEvent
 
 __all__ = [
     "BranchStats",
     "LoadStats",
     "ReconvergenceCheck",
+    "RetireEvent",
     "TraceEvent",
     "TraceProfile",
     "check_reconvergence",

@@ -5,6 +5,10 @@ structures gather online: branch bias (MBS), load stride behaviour (stride
 predictor), and re-convergence (NRBQ/CRP heuristics).  They are used by the
 workload test-suite to *characterise* kernels, and by examples to explain
 why the mechanism helps where it does.
+
+All analyses consume the canonical retire stream
+(:class:`~repro.observe.events.RetireEvent`) produced by
+``trace.collect_trace``.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from typing import Dict, List, Optional
 
 from ..ci.reconverge import estimate_reconvergent_point
 from ..isa import Program
-from .events import TraceEvent
+from ..observe.events import RetireEvent
 
 
 @dataclass
@@ -122,7 +126,7 @@ class TraceProfile:
         return hard / total
 
 
-def profile_trace(events: List[TraceEvent]) -> TraceProfile:
+def profile_trace(events: List[RetireEvent]) -> TraceProfile:
     """Build a :class:`TraceProfile` from a dynamic trace."""
     branches: Dict[int, BranchStats] = {}
     loads: Dict[int, LoadStats] = {}
@@ -154,7 +158,7 @@ class ReconvergenceCheck:
         return self.reconverged / self.occurrences if self.occurrences else 0.0
 
 
-def check_reconvergence(program: Program, events: List[TraceEvent],
+def check_reconvergence(program: Program, events: List[RetireEvent],
                         horizon: int = 200) -> Dict[int, ReconvergenceCheck]:
     """Measure how often the heuristic's estimate is actually reached.
 

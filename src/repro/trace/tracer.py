@@ -1,4 +1,9 @@
-"""Dynamic trace generation via the functional interpreter."""
+"""Dynamic trace generation via the functional interpreter.
+
+Emits the canonical :class:`~repro.observe.events.RetireEvent` stream —
+the same record family the timing core's COMMIT events describe — so
+offline and online consumers share one vocabulary.
+"""
 
 from __future__ import annotations
 
@@ -6,15 +11,15 @@ from typing import List
 
 from ..isa import Program
 from ..isa import interp
-from .events import TraceEvent
+from ..observe.events import RetireEvent
 
 
-def collect_trace(program: Program, max_steps: int = 2_000_000) -> List[TraceEvent]:
+def collect_trace(program: Program, max_steps: int = 2_000_000) -> List[RetireEvent]:
     """Run ``program`` functionally and return its full dynamic trace."""
     raw: list = []
     interp.run(program, max_steps=max_steps,
                trace_hook=lambda pc, instr, res, ea: raw.append((pc, instr, res, ea)))
-    events: List[TraceEvent] = []
+    events: List[RetireEvent] = []
     n = len(raw)
     for seq, (pc, instr, res, ea) in enumerate(raw):
         next_pc = raw[seq + 1][0] if seq + 1 < n else pc + 1
@@ -25,6 +30,6 @@ def collect_trace(program: Program, max_steps: int = 2_000_000) -> List[TraceEve
             # resolve via the condition in that degenerate case.
             if instr.target == pc + 1:
                 taken = True  # direction is unobservable and irrelevant
-        events.append(TraceEvent(seq=seq, pc=pc, instr=instr, result=res,
-                                 eff_addr=ea, next_pc=next_pc, taken=taken))
+        events.append(RetireEvent(seq=seq, pc=pc, instr=instr, result=res,
+                                  eff_addr=ea, next_pc=next_pc, taken=taken))
     return events

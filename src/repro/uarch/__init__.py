@@ -11,8 +11,9 @@ from .config import (
     wb,
     with_spec_mem,
 )
-from .core import Core, Hooks, PortState, SimulationError, simulate
+from .core import Core, PortState, SimulationError, simulate
 from .frontend import FetchUnit
+from .hooks import Hooks, MechanismHooks
 from .funits import FUPool
 from .rename import FreeList, RenameTable
 from .rob import DynInst, MEM_ABSENT
@@ -32,6 +33,7 @@ __all__ = [
     "make_predictor",
     "Hooks",
     "INF_REGS",
+    "MechanismHooks",
     "MEM_ABSENT",
     "MemoryHierarchy",
     "PortState",

@@ -67,8 +67,9 @@ class ProcessorConfig:
     mshrs: int = 16                       # outstanding L1 misses
 
     # ---- control-independence mechanism (None = plain superscalar) ------
-    #: one of None, "ci", "ci-iw" (squash reuse inside the window only),
-    #: "vect" (full dynamic vectorization of [12], no CI filtering).
+    #: a policy name from the registry (``repro.ci.registry``): ``None``
+    #: for a plain superscalar, or "ci", "ci-iw", "vect", an ablation
+    #: like "ci-oracle-mbs", or any policy registered at runtime.
     ci_policy: Optional[str] = None
     replicas: int = 4                     # speculative instances per insn
     stride_sets: int = 256
@@ -115,8 +116,11 @@ class ProcessorConfig:
     max_cycles: int = 4_000_000
 
     def __post_init__(self) -> None:
-        if self.ci_policy not in (None, "ci", "ci-iw", "vect"):
-            raise ValueError(f"unknown ci_policy {self.ci_policy!r}")
+        if self.ci_policy is not None:
+            # Imported lazily: the registry lives above uarch in the
+            # package graph (ci.* imports uarch.hooks).
+            from ..ci.registry import get_policy
+            get_policy(self.ci_policy)  # raises with suggestions if unknown
         if self.phys_regs < 64 + 8:
             raise ValueError("phys_regs must cover 64 architectural registers")
         if self.replicas < 1:

@@ -33,6 +33,7 @@ from .caches import MemoryHierarchy
 from .config import ProcessorConfig
 from .frontend import FetchUnit
 from .funits import FUPool
+from .hooks import Hooks, MechanismHooks
 from .rename import FreeList, RenameTable
 from .rob import DynInst, MEM_ABSENT
 from .stats import SimStats
@@ -40,47 +41,6 @@ from .stats import SimStats
 
 class SimulationError(RuntimeError):
     """Raised when the simulation cannot make progress."""
-
-
-class Hooks:
-    """Mechanism attachment points; the base class is a no-op superscalar."""
-
-    def attach(self, core: "Core") -> None:
-        self.core = core
-
-    def on_dispatch(self, inst: DynInst) -> None:
-        """Called after functional execution + renaming of ``inst``.
-
-        May set ``inst.validated`` (and ``inst.done_cycle``) to make the
-        core skip execution entirely (replica reuse)."""
-
-    def on_branch_resolved(self, inst: DynInst) -> None:
-        """Called when a conditional branch executes (before recovery)."""
-
-    def on_recovery(self, pivot: DynInst, squashed: List[DynInst],
-                    is_branch: bool) -> None:
-        """Called after the window was walked back to ``pivot``."""
-
-    def on_commit(self, inst: DynInst) -> None:
-        """Called as ``inst`` retires."""
-
-    def on_store_commit(self, inst: DynInst) -> bool:
-        """Return True if the store conflicts with speculative data
-        (Section 2.4.3) and younger instructions must be squashed."""
-        return False
-
-    def on_cycle(self, leftover_issue_slots: int, ports: "PortState") -> None:
-        """End-of-cycle hook: replica issue uses leftover resources."""
-
-    def dispatch_gate(self) -> bool:
-        """Return False to block dispatch this cycle (e.g. an in-pipeline
-        vector instruction waiting for registers, as in [12])."""
-        return True
-
-    def validated_extra_latency(self, inst: DynInst) -> int:
-        """Extra cycles before a validated instruction's value is usable
-        (the speculative-data-memory copy path)."""
-        return 0
 
 
 class PortState:
@@ -140,7 +100,7 @@ class Core:
     """One simulated processor running one program."""
 
     def __init__(self, cfg: ProcessorConfig, program: Program,
-                 hooks: Optional[Hooks] = None,
+                 hooks: Optional[MechanismHooks] = None,
                  observer: Optional[Observer] = None):
         self.cfg = cfg
         self.program = program
@@ -170,13 +130,23 @@ class Core:
         self._obs: Optional[Observer] = (
             None if observer is None or isinstance(observer, NullObserver)
             else observer)
-        self.fetch.observer = self._obs
+        self.fetch.set_observer(self._obs)
         if self._obs is not None:
             self._obs.attach(self)
-        self.hooks = hooks or Hooks()
+        self.hooks: MechanismHooks = hooks or MechanismHooks()
         self.hooks.attach(self)
         self._last_progress_cycle = 0
         self._ports = PortState(cfg, self.stats, self.hierarchy)
+
+    @property
+    def active_observer(self) -> Optional[Observer]:
+        """The observer receiving events, or ``None`` when not observing.
+
+        This is the formal accessor for mechanism code: ``None`` and
+        :class:`NullObserver` are already normalised away, so callers
+        guard event emission with one ``is not None`` test.
+        """
+        return self._obs
 
     # ------------------------------------------------------------------
     # Public driver.
@@ -245,7 +215,7 @@ class Core:
             if instr.is_store:
                 # The coherence check (Section 2.4.3) taxes store commit
                 # only when replicas exist to check against.
-                has_replicas = cfg.ci_policy in ("ci", "vect")
+                has_replicas = self.hooks.has_replicas
                 max_stores = (cfg.ci_max_store_commits if has_replicas
                               else cfg.l1d_ports + 1)
                 if stores_this_cycle >= max_stores:
@@ -531,7 +501,7 @@ class Core:
 
 
 def simulate(program: Program, cfg: Optional[ProcessorConfig] = None,
-             hooks: Optional[Hooks] = None,
+             hooks: Optional[MechanismHooks] = None,
              max_instructions: Optional[int] = None,
              observer: Optional[Observer] = None) -> SimStats:
     """Convenience wrapper: build a core, run it, return the statistics."""

@@ -34,8 +34,18 @@ class FetchUnit:
         self._redirect_at: Optional[int] = None
         self._redirect_pc: int = 0
         self.next_seq = 0
-        #: pipeline observer (set by the core; None when not observing)
-        self.observer = None
+        #: pipeline observer (set via :meth:`set_observer`; ``None`` when
+        #: not observing)
+        self.observer: Optional[object] = None
+
+    def set_observer(self, observer) -> None:
+        """Install the (already normalised) pipeline observer.
+
+        The core calls this once during construction with its
+        ``active_observer`` — ``None`` means "not observing" and keeps
+        the fetch loop on the no-event fast path.
+        """
+        self.observer = observer
 
     def redirect(self, pc: int, cycle: int) -> None:
         """Squash the queue and restart fetching at ``pc`` next cycle."""

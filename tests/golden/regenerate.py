@@ -1,0 +1,65 @@
+"""Regenerate the golden refactor-equivalence outputs.
+
+The golden files pin the observable behaviour of the three pre-existing
+policies (``ci``, ``ci-iw``, ``vect``) across the full 12-kernel suite,
+plus one rendered figure table.  They were generated *before* the
+mechanism-pipeline refactor and must stay byte-identical afterwards
+(``tests/test_golden_equivalence.py``).
+
+Only regenerate when the *timing model itself* changes deliberately::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Keep SCALE/SEED in sync with tests/test_golden_equivalence.py.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+SCALE = 0.3
+SEED = 1
+POLICIES = ("ci", "ci-iw", "vect")
+FIG_SCALE = 0.1
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def suite_stats(policy: str) -> dict:
+    from repro import run_program
+    from repro.uarch import ci
+    from repro.workloads import build_program, kernel_names
+    out = {}
+    for name in kernel_names():
+        prog = build_program(name, SCALE, SEED)
+        st = run_program(prog, ci(1, 512, policy=policy))
+        out[name] = st.as_dict()
+    return out
+
+
+def figure_table() -> str:
+    os.environ["REPRO_SCALE"] = str(FIG_SCALE)
+    from repro.experiments import fig05
+    from repro.experiments.common import Runner
+    from repro.runtime import ResultCache
+    runner = Runner(scale=FIG_SCALE, seed=SEED, jobs=1,
+                    cache=ResultCache(enabled=False))
+    return fig05.compute(runner).render()
+
+
+def main() -> None:
+    for policy in POLICIES:
+        path = os.path.join(HERE, f"suite_{policy}.json")
+        with open(path, "w") as fh:
+            json.dump(suite_stats(policy), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path}")
+    path = os.path.join(HERE, "fig05.txt")
+    with open(path, "w") as fh:
+        fh.write(figure_table() + "\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -74,7 +74,7 @@ class TestRegistries:
     def test_ablation_registry_complete(self):
         assert set(ALL_ABLATIONS) == {
             "refinements", "mbs", "select_window", "headroom",
-            "bpred", "frontend"}
+            "bpred", "frontend", "policies"}
 
 
 class TestOneFigureEndToEnd:

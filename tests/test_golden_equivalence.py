@@ -1,0 +1,59 @@
+"""Refactor-equivalence gate: the pipeline must match the monolith.
+
+The golden files under ``tests/golden/`` were generated *before* the
+CIEngine monolith was split into registry-assembled components
+(``tests/golden/regenerate.py``).  These tests re-run the same points
+through the refactored pipeline and require byte-identical output:
+
+* every pre-existing policy (``ci``, ``ci-iw``, ``vect``) across the
+  full 12-kernel suite — the serialized ``SimStats.as_dict()`` payloads
+  must match the goldens byte for byte, and
+* one rendered figure table (Figure 5), which additionally exercises
+  the experiment runner and formatting layers.
+
+A mismatch means the refactor changed observable timing behaviour.
+Only regenerate the goldens for a *deliberate* timing-model change.
+"""
+
+import json
+import os
+
+import pytest
+
+SCALE = 0.3
+SEED = 1
+FIG_SCALE = 0.1
+GOLDEN = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+
+def _golden_bytes(name: str) -> str:
+    with open(os.path.join(GOLDEN, name)) as fh:
+        return fh.read()
+
+
+@pytest.mark.parametrize("policy", ["ci", "ci-iw", "vect"])
+def test_suite_stats_byte_identical(policy):
+    from repro import run_program
+    from repro.uarch import ci
+    from repro.workloads import build_program, kernel_names
+
+    out = {}
+    for name in kernel_names():
+        prog = build_program(name, SCALE, SEED)
+        st = run_program(prog, ci(1, 512, policy=policy))
+        out[name] = st.as_dict()
+    produced = json.dumps(out, indent=1, sort_keys=True) + "\n"
+    assert produced == _golden_bytes(f"suite_{policy}.json"), (
+        f"policy {policy!r} diverged from the pre-refactor golden")
+
+
+def test_figure_table_byte_identical(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", str(FIG_SCALE))
+    from repro.experiments import fig05
+    from repro.experiments.common import Runner
+    from repro.runtime import ResultCache
+
+    runner = Runner(scale=FIG_SCALE, seed=SEED, jobs=1,
+                    cache=ResultCache(enabled=False))
+    produced = fig05.compute(runner).render() + "\n"
+    assert produced == _golden_bytes("fig05.txt")

@@ -9,7 +9,7 @@ from pathlib import Path
 import pytest
 
 from repro import run_kernel, run_program
-from repro.ci.engine import CIEngine
+from repro.ci import CIEngine
 from repro.observe import (
     COMPONENTS,
     AuditTrail,
