@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Fault injection walkthrough: perturb the mechanism, prove it recovers.
+
+The control-independence mechanism is defined by its failure paths —
+a replica validation that fails, an SRSMT allocation that is denied, a
+squash that rips through precomputed work.  This example injects all of
+them deliberately (plus a poisoned stride predictor and corrupted
+replica values), then holds the run to the correctness contract:
+
+* the per-cycle invariant checker finds no broken bookkeeping, and
+* the final architectural state (registers + memory) matches the
+  functional interpreter exactly.
+
+It finishes by replaying the run with the audit trail attached, so you
+can see each injected fault land in the mechanism's own event stream.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro import build_program, run_program
+from repro.faults import FaultPlan, plan_for_run, run_checked
+from repro.observe import AuditTrail
+from repro.uarch import ci
+
+SCALE = 0.1
+SEED = 1
+
+
+def main() -> int:
+    cfg = ci(ports=1, regs=512, policy="vect")
+    prog = build_program("bzip2", SCALE, SEED)
+
+    # -- 1. a hand-written plan: the --faults / REPRO_FAULTS grammar ----
+    plan = FaultPlan.parse("squash@400,valfail@500,alloc-deny@600,seed=3")
+    print(f"hand-written plan : {plan.to_spec()}")
+
+    # -- 2. a generated plan sized to the kernel's actual run length ----
+    auto = plan_for_run(prog, cfg, count=8, seed=11)
+    print(f"generated plan    : {auto.describe()}")
+    print()
+
+    # -- 3. run under injection with every check armed ------------------
+    report = run_checked(prog, cfg, plan=auto)
+    print(report.summary())
+    for fault in report.injected:
+        print(f"  cycle {fault['cycle']:>5}  {fault['kind']:<15} "
+              f"{fault['detail']}")
+    if not report.ok:
+        for line in report.violations + report.oracle_diffs:
+            print(f"  !! {line}")
+        return 1
+    print()
+
+    # -- 4. replay with the audit trail: faults in the event stream -----
+    trail = AuditTrail()
+    stats = run_program(prog, cfg, observer=trail, faults=auto, check=True)
+    print(f"faulted run: {stats.committed} committed / {stats.cycles} "
+          f"cycles (IPC {stats.ipc:.3f}), "
+          f"{stats.replica_validation_failures} validation failure(s)")
+    print()
+    rendered = trail.render()
+    start = rendered.find("why: injected faults")
+    print(rendered[start:] if start >= 0 else rendered)
+    print()
+    print("all faults absorbed: architectural state matches the "
+          "interpreter, zero invariant violations")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ Public API quick tour::
 See README.md for the full walkthrough and DESIGN.md for the system map.
 """
 
+import os
 from typing import Optional
 
 from . import isa, observe, trace, uarch, workloads
@@ -34,11 +35,44 @@ def hooks_for(cfg: ProcessorConfig) -> Optional[MechanismHooks]:
 
 def run_program(program: Program, cfg: Optional[ProcessorConfig] = None,
                 max_instructions: Optional[int] = None,
-                observer: Optional[Observer] = None) -> SimStats:
-    """Simulate ``program`` under ``cfg`` with the right mechanism attached."""
+                observer: Optional[Observer] = None,
+                faults=None, check: Optional[bool] = None) -> SimStats:
+    """Simulate ``program`` under ``cfg`` with the right mechanism attached.
+
+    ``faults`` (or ``REPRO_FAULTS``) is a fault-plan spec string or
+    :class:`repro.faults.FaultPlan`; the run executes under a
+    :class:`~repro.faults.FaultInjector`.  ``check`` (or ``REPRO_CHECK=1``)
+    attaches the per-cycle invariant checker and the end-of-run
+    architectural-state oracle, raising on the first violation.  With
+    neither active this is the plain fast path — no fault machinery is
+    even imported.
+    """
     cfg = cfg or ProcessorConfig()
-    return simulate(program, cfg, hooks=hooks_for(cfg),
-                    max_instructions=max_instructions, observer=observer)
+    if faults is None:
+        faults = os.environ.get("REPRO_FAULTS") or None
+    if check is None:
+        check = os.environ.get("REPRO_CHECK", "").lower() in (
+            "1", "on", "yes", "true")
+    hooks = hooks_for(cfg)
+    if faults is None and not check:
+        return simulate(program, cfg, hooks=hooks,
+                        max_instructions=max_instructions, observer=observer)
+    from .faults import FaultInjector, FaultPlan, InvariantChecker
+    from .faults.oracle import check_final_state
+    from .observe import MultiObserver
+    if faults is not None:
+        plan = faults if isinstance(faults, FaultPlan) \
+            else FaultPlan.parse(str(faults))
+        hooks = FaultInjector(plan, inner=hooks)
+    obs = observer
+    if check:
+        checker = InvariantChecker(strict=True)
+        obs = checker if obs is None else MultiObserver([obs, checker])
+    core = Core(cfg, program, hooks, observer=obs)
+    stats = core.run(max_instructions=max_instructions)
+    if check:
+        check_final_state(core)
+    return stats
 
 
 def run_kernel(name: str, cfg: Optional[ProcessorConfig] = None,

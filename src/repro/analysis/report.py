@@ -11,6 +11,10 @@ def format_table(title: str, headers: Sequence[str],
     """Render an aligned text table with a title rule."""
     def cell(v: object) -> str:
         if isinstance(v, float):
+            if v != v:
+                # NaN marks a failed simulation (runtime keep-going
+                # holes) — render an explicit gap, not 'nan'.
+                return "--"
             return floatfmt.format(v)
         return str(v)
 

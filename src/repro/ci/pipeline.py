@@ -24,7 +24,7 @@ like the pre-refactor monolith.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from ..observe.events import ReuseEvent
 from ..uarch.hooks import MechanismHooks
@@ -43,6 +43,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 class MechanismPipeline(MechanismHooks):
     """Control-flow independence reuse as a pipeline of typed components."""
+
+    #: fault-injection port (see ``repro.faults.FaultInjector``): when a
+    #: wrapping injector attaches it sets this to itself, and components
+    #: pull planned denials/failures at their decision sites — injected
+    #: faults ride the real failure paths instead of bypassing them
+    faults: Optional[Any] = None
 
     def __init__(self, spec: Optional["PolicySpec"] = None):
         self.spec = spec

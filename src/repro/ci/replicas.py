@@ -69,6 +69,11 @@ class ReplicaManager:
     # Resource accounting for replica destinations.
     # ------------------------------------------------------------------
     def _alloc_replicas(self, want: int) -> int:
+        faults = self.pipeline.faults
+        if faults is not None and faults.deny_alloc():
+            # Injected allocation pressure: refuse this batch outright.
+            # Callers take their normal "no-regs" failure path.
+            return 0
         spec_mem = self.pipeline.spec_mem
         if spec_mem is not None:
             got = spec_mem.alloc_up_to(want)
@@ -373,6 +378,14 @@ class ReplicaManager:
                     break
         if ok and entry.values[idx] != inst.result:
             ok, reason = False, "value-mismatch"  # model-level safety net
+        if ok:
+            faults = self.pipeline.faults
+            if faults is not None \
+                    and faults.force_validation_failure(inst.pc):
+                # Injected after the natural checks, so it only downgrades
+                # a validation that would have succeeded — and then rides
+                # the full failure path (stats, streaks, deallocation).
+                ok, reason = False, "fault-injected"
         if obs is not None:
             obs.on_validation(inst.pc, entry.event, ok, reason,
                               self.core.cycle)

@@ -10,7 +10,9 @@ Commands
 ``ablation`` run one of the design-choice ablations
 ``list``     list kernels, figures and ablations
 ``trace``    trace-driven profile of a kernel (branches, strides, reconv.)
-``cache``    inspect or clear the persistent simulation-result cache
+``faults``   fault-injection sweep: seeded mechanism faults across the
+             suite, each run held to the invariant checker + state oracle
+``cache``    inspect, verify or clear the persistent simulation-result cache
 ``profile``  cProfile one kernel simulation (hot-loop work)
 ``pipeview`` per-instruction pipeline trace (text / Konata / JSONL)
 ``why``      CPI stack + CI-mechanism audit: why cycles are spent and
@@ -25,6 +27,14 @@ to fan simulations out over a worker-process pool; results persist in
 the disk cache so repeat invocations pay only for new configurations.
 A one-line runtime summary (simulations run / cache hits) goes to
 stderr, keeping stdout byte-identical between serial and parallel runs.
+
+They also accept the resilience knobs (DESIGN.md §8): ``--keep-going``
+(or ``REPRO_KEEP_GOING=1``) degrades job failures into explicit table
+holes and a nonzero exit instead of aborting the sweep; ``--timeout``
+(``REPRO_TIMEOUT``) arms the stall watchdog; ``--retries``
+(``REPRO_RETRIES``) bounds transient-failure retries.  ``run`` takes
+``--faults SPEC`` / ``--check`` (``REPRO_FAULTS`` / ``REPRO_CHECK``) to
+inject mechanism faults and arm the invariant checker + state oracle.
 """
 
 from __future__ import annotations
@@ -91,6 +101,26 @@ def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="simulation worker processes (default: REPRO_JOBS "
                         "or the machine's core count; 1 = in-process)")
+    p.add_argument("--keep-going", action="store_true",
+                   help="don't abort the sweep on a failed simulation: "
+                        "render an explicit hole, report every failure, "
+                        "exit nonzero (default: REPRO_KEEP_GOING)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                   help="stall watchdog: declare pending jobs hung after "
+                        "SEC seconds without progress (default: "
+                        "REPRO_TIMEOUT; 0 disables)")
+    p.add_argument("--retries", type=int, default=None, metavar="N",
+                   help="retries for transient job failures — timeouts, "
+                        "pool breakage (default: REPRO_RETRIES or 1)")
+
+
+def _finish_sweep(runner) -> int:
+    """Common sweep epilogue: runtime summary + aggregated failures."""
+    print(runner.runtime_summary(), file=sys.stderr)
+    if runner.failures:
+        print(runner.failure_report(), file=sys.stderr)
+        return 1
+    return 0
 
 
 def _load_program(args: argparse.Namespace):
@@ -108,7 +138,22 @@ def cmd_run(args: argparse.Namespace) -> int:
         else os.environ.get("REPRO_OBSERVE")
     observer = make_observer(spec)
     cfg = make_config(args)
-    st = run_program(prog, cfg, observer=observer)
+    check = True if args.check else None   # None = honour REPRO_CHECK
+    try:
+        st = run_program(prog, cfg, observer=observer,
+                         faults=args.faults, check=check)
+    except ValueError as exc:              # bad --faults spec
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:
+        from .faults import InjectedCrash, InvariantViolation, OracleMismatch
+        if isinstance(exc, InjectedCrash):
+            print(f"simulated crash: {exc}", file=sys.stderr)
+            return 1
+        if isinstance(exc, (InvariantViolation, OracleMismatch)):
+            print(f"CHECK FAILED: {exc}", file=sys.stderr)
+            return 1
+        raise
     print(f"program            : {prog.name} ({len(prog)} static instrs)")
     print(f"committed / cycles : {st.committed} / {st.cycles}")
     print(f"IPC                : {st.ipc:.3f}")
@@ -180,21 +225,28 @@ def cmd_why(args: argparse.Namespace) -> int:
 def cmd_suite(args: argparse.Namespace) -> int:
     from .experiments.common import Runner
     cfg = make_config(args)
-    runner = Runner(scale=args.scale, seed=args.seed, jobs=args.jobs)
+    runner = Runner(scale=args.scale, seed=args.seed, jobs=args.jobs,
+                    keep_going=args.keep_going, timeout=args.timeout,
+                    retries=args.retries)
     stats = runner.run_suite(cfg)
     rows = []
     ipcs = []
     for name, st in stats.items():
+        if getattr(st, "failed", False):
+            # A keep-going hole: mark it, keep the table complete.
+            rows.append([name, float("nan"), "--", "--", "FAILED"])
+            continue
         ipcs.append(st.ipc)
         rows.append([name, st.ipc, f"{st.mispredict_rate:.1%}",
                      f"{st.reuse_fraction:.1%}", st.cycles])
-    rows.append(["INT(hmean)", harmonic_mean(ipcs), "", "", ""])
+    hmean = harmonic_mean(ipcs) if ipcs else float("nan")
+    rows.append(["INT(hmean)", hmean,
+                 "" if not runner.failures else "(partial)", "", ""])
     label = cfg.ci_policy if cfg.ci_policy is not None else args.scheme
     print(format_table(
         f"suite under {label} ({args.regs} regs, {args.ports} port(s))",
         ["kernel", "IPC", "mispred", "reuse", "cycles"], rows))
-    print(runner.runtime_summary(), file=sys.stderr)
-    return 0
+    return _finish_sweep(runner)
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -202,11 +254,11 @@ def cmd_figure(args: argparse.Namespace) -> int:
     os.environ["REPRO_SCALE"] = str(args.scale)
     from .experiments import ALL_EXPERIMENTS, generate_report
     from .experiments.common import Runner
-    runner = Runner(jobs=args.jobs)
+    runner = Runner(jobs=args.jobs, keep_going=args.keep_going,
+                    timeout=args.timeout, retries=args.retries)
     if args.name == "all":
         print(generate_report(runner))
-        print(runner.runtime_summary(), file=sys.stderr)
-        return 0
+        return _finish_sweep(runner)
     key = args.name if args.name.startswith(("fig", "intext")) \
         else f"fig{int(args.name):02d}"
     if key not in ALL_EXPERIMENTS:
@@ -214,8 +266,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
               f"{', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
     print(ALL_EXPERIMENTS[key](runner).render())
-    print(runner.runtime_summary(), file=sys.stderr)
-    return 0
+    return _finish_sweep(runner)
 
 
 def cmd_ablation(args: argparse.Namespace) -> int:
@@ -227,10 +278,10 @@ def cmd_ablation(args: argparse.Namespace) -> int:
         print(f"unknown ablation {args.name!r}; known: "
               f"{', '.join(sorted(ALL_ABLATIONS))}", file=sys.stderr)
         return 2
-    runner = Runner(jobs=args.jobs)
+    runner = Runner(jobs=args.jobs, keep_going=args.keep_going,
+                    timeout=args.timeout, retries=args.retries)
     print(ALL_ABLATIONS[args.name](runner).render())
-    print(runner.runtime_summary(), file=sys.stderr)
-    return 0
+    return _finish_sweep(runner)
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -243,11 +294,58 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"schema     : v{CACHE_SCHEMA}")
         print(f"entries    : {info['entries']}")
         print(f"size       : {info['bytes'] / 1024:.1f} KiB")
+        print(f"quarantined: {info['quarantined']}")
+    elif args.action == "verify":
+        report = cache.verify()
+        print(f"cache root : {report['root']}")
+        print(f"verified   : {report['ok']} ok, {report['stale']} stale "
+              f"(other schema), {report['corrupt']} corrupt")
+        for item in report["bad"]:
+            print(f"  quarantined {item['path']}: {item['reason']}")
+        if report["corrupt"]:
+            return 1
     else:  # clear
         removed = cache.clear()
         print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
               f"from {cache.root}")
     return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import plan_for_run, run_checked
+    from .uarch import ci as ci_config
+    kernels = args.kernels.split(",") if args.kernels else kernel_names()
+    policies = args.policies.split(",")
+    rows = []
+    injected = unapplied = bad = 0
+    for policy in policies:
+        cfg = ci_config(args.ports, int(args.regs), policy=policy.strip())
+        for i, kernel in enumerate(kernels):
+            prog = build_program(kernel, args.scale, args.seed)
+            # A distinct plan seed per (kernel, policy) point, stable
+            # across runs, so the sweep exercises varied schedules.
+            plan = plan_for_run(prog, cfg, count=args.count,
+                                seed=args.plan_seed + i * len(policies)
+                                + policies.index(policy))
+            rep = run_checked(prog, cfg, plan=plan)
+            injected += len(rep.injected)
+            unapplied += rep.unapplied
+            if not rep.ok:
+                bad += 1
+            rows.append([kernel, policy, len(rep.injected), rep.unapplied,
+                         len(rep.violations), len(rep.oracle_diffs),
+                         "OK" if rep.ok else "FAIL"])
+            if args.verbose and (rep.violations or rep.oracle_diffs):
+                for v in rep.violations + rep.oracle_diffs:
+                    print(f"  {kernel}[{policy}]: {v}", file=sys.stderr)
+    print(format_table(
+        f"fault-injection sweep ({args.count} fault(s)/run, "
+        f"plan seed {args.plan_seed}, scale {args.scale})",
+        ["kernel", "policy", "injected", "unapplied", "invariant",
+         "oracle", "verdict"], rows))
+    print(f"{injected} fault(s) injected across {len(rows)} run(s); "
+          f"{unapplied} never armed; {bad} run(s) failed checks")
+    return 1 if bad else 0
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -334,6 +432,12 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--observe", default=None, metavar="SPEC",
                     help="attach observers (comma list of cpi, audit, "
                          "trace; default: REPRO_OBSERVE)")
+    pr.add_argument("--faults", default=None, metavar="PLAN",
+                    help="inject mechanism faults, e.g. 'squash@400' or "
+                         "'valfail*3,seed=7' (default: REPRO_FAULTS)")
+    pr.add_argument("--check", action="store_true",
+                    help="arm the per-cycle invariant checker and the "
+                         "final-state oracle (default: REPRO_CHECK)")
     pr.set_defaults(fn=cmd_run)
 
     pv = sub.add_parser("pipeview",
@@ -392,8 +496,30 @@ def build_parser() -> argparse.ArgumentParser:
     pt.set_defaults(fn=cmd_trace)
 
     pc = sub.add_parser("cache", help="persistent result-cache maintenance")
-    pc.add_argument("action", choices=("info", "clear"))
+    pc.add_argument("action", choices=("info", "verify", "clear"))
     pc.set_defaults(fn=cmd_cache)
+
+    pfa = sub.add_parser(
+        "faults",
+        help="seeded fault-injection sweep with invariant + oracle checks")
+    pfa.add_argument("--kernels", default=None, metavar="A,B,...",
+                     help="kernels to sweep (default: the whole suite)")
+    pfa.add_argument("--policies", default="ci,vect", metavar="A,B,...",
+                     help="mechanism policies to sweep (default: ci,vect)")
+    pfa.add_argument("--count", type=int, default=5, metavar="N",
+                     help="faults per (kernel, policy) run (default: 5)")
+    pfa.add_argument("--plan-seed", type=int, default=0, metavar="S",
+                     help="base seed for the generated fault plans")
+    pfa.add_argument("--scale", type=float, default=0.05,
+                     help="workload scale factor (default: 0.05)")
+    pfa.add_argument("--seed", type=int, default=1,
+                     help="workload data seed")
+    pfa.add_argument("--regs", default="512",
+                     help="physical registers")
+    pfa.add_argument("--ports", type=int, default=1, help="L1 data ports")
+    pfa.add_argument("--verbose", "-v", action="store_true",
+                     help="print each violation/diff to stderr")
+    pfa.set_defaults(fn=cmd_faults)
 
     pp = sub.add_parser("profile",
                         help="cProfile one kernel simulation")

@@ -93,11 +93,15 @@ class Runner(ParallelRunner):
                  seed: Optional[int] = None,
                  jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
-                 observe: Optional[str] = None):
+                 observe: Optional[str] = None,
+                 keep_going: bool = False,
+                 timeout: Optional[float] = None,
+                 retries: Optional[int] = None):
         super().__init__(
             scale=EXPERIMENT_SCALE if scale is None else scale,
             seed=EXPERIMENT_SEED if seed is None else seed,
-            jobs=jobs, cache=cache, observe=observe)
+            jobs=jobs, cache=cache, observe=observe,
+            keep_going=keep_going, timeout=timeout, retries=retries)
 
     def run_suite(self, cfg: ProcessorConfig) -> Dict[str, SimStats]:
         names = kernel_names()

@@ -1,0 +1,177 @@
+"""Deterministic, seeded fault plans.
+
+A :class:`FaultPlan` is an ordered set of :class:`FaultSpec` items, each
+naming a fault *kind*, the cycle at which it arms, and an optional
+program-name filter.  Plans are deterministic by construction: cycles
+are either given explicitly or drawn from ``random.Random(seed)``, so
+the same spec string (or the same ``generate`` arguments) always yields
+the same injections and the same simulation outcome.
+
+Spec grammar (the ``--faults`` / ``REPRO_FAULTS`` syntax)::
+
+    plan     := item ("," item)*
+    item     := "seed=" INT
+              | KIND ["*" COUNT] ["@" CYCLE] ["/" TARGET]
+    KIND     := squash | valfail | alloc-deny | stride-poison
+              | replica-poison | crash
+
+Examples::
+
+    squash@400                   one forced squash armed at cycle 400
+    valfail*3,seed=7             three validation failures at seeded cycles
+    crash@500/bzip2              crash the worker, but only in 'bzip2'
+
+``FaultPlan.to_spec()`` emits a fully resolved spec (explicit cycles),
+so a plan survives a round-trip through an environment variable into a
+pool worker unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+#: every injectable fault kind, in generation rotation order
+FAULT_KINDS: Tuple[str, ...] = (
+    "squash",          # flip a correctly predicted branch into a squash
+    "valfail",         # force an otherwise-good replica validation to fail
+    "alloc-deny",      # deny one SRSMT replica-register allocation
+    "stride-poison",   # corrupt a confident stride-predictor entry
+    "replica-poison",  # corrupt a precomputed replica value
+    "crash",           # raise inside the worker (runtime-resilience tests)
+)
+
+#: default arming-cycle window for generated/unpinned faults
+CYCLE_LO = 200
+CYCLE_HI = 6000
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: ``kind`` arms at ``cycle`` (in ``target`` only)."""
+
+    kind: str
+    cycle: int
+    target: Optional[str] = None   # program-name filter (None = everywhere)
+    arg: int = 0                   # kind-specific knob (poison delta)
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: "
+                f"{', '.join(FAULT_KINDS)}")
+        if self.cycle < 0:
+            raise ValueError(f"fault cycle must be >= 0, got {self.cycle}")
+
+    def to_spec(self) -> str:
+        out = f"{self.kind}@{self.cycle}"
+        if self.target:
+            out += f"/{self.target}"
+        return out
+
+    def applies_to(self, program_name: str) -> bool:
+        return self.target is None or self.target == program_name
+
+
+class FaultPlan:
+    """An ordered, deterministic set of fault specs."""
+
+    def __init__(self, specs: Sequence[FaultSpec], seed: int = 0):
+        self.seed = seed
+        self.specs: Tuple[FaultSpec, ...] = tuple(
+            sorted(specs, key=lambda s: (s.cycle, s.kind, s.target or "")))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FaultPlan) and self.specs == other.specs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultPlan {self.to_spec()!r}>"
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def generate(cls, seed: int, count: int,
+                 kinds: Sequence[str] = FAULT_KINDS[:-1],
+                 lo: int = CYCLE_LO, hi: int = CYCLE_HI,
+                 target: Optional[str] = None) -> "FaultPlan":
+        """``count`` faults rotating through ``kinds`` at seeded cycles.
+
+        ``crash`` is excluded by default: it is for runtime-resilience
+        tests, not mechanism sweeps.  Same arguments, same plan."""
+        rng = random.Random(seed)
+        specs = [FaultSpec(kind=kinds[i % len(kinds)],
+                           cycle=rng.randrange(lo, hi), target=target)
+                 for i in range(count)]
+        return cls(specs, seed=seed)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the ``--faults`` / ``REPRO_FAULTS`` spec grammar."""
+        items: List[tuple] = []
+        seed = 0
+        for raw in text.split(","):
+            part = raw.strip()
+            if not part:
+                continue
+            if part.startswith("seed="):
+                try:
+                    seed = int(part[5:])
+                except ValueError:
+                    raise ValueError(
+                        f"bad fault-plan seed {part!r}") from None
+                continue
+            target: Optional[str] = None
+            if "/" in part:
+                part, target = part.split("/", 1)
+                target = target.strip() or None
+            cycle: Optional[int] = None
+            if "@" in part:
+                part, cycle_s = part.split("@", 1)
+                try:
+                    cycle = int(cycle_s)
+                except ValueError:
+                    raise ValueError(
+                        f"bad fault cycle in {raw.strip()!r}") from None
+            count = 1
+            if "*" in part:
+                part, count_s = part.split("*", 1)
+                try:
+                    count = int(count_s)
+                except ValueError:
+                    raise ValueError(
+                        f"bad fault count in {raw.strip()!r}") from None
+                if count < 1:
+                    raise ValueError(
+                        f"fault count must be >= 1 in {raw.strip()!r}")
+            items.append((part.strip(), count, cycle, target))
+        # Resolve unpinned cycles only after the whole string is read, so
+        # `seed=` may appear anywhere without changing the result.
+        rng = random.Random(seed)
+        specs: List[FaultSpec] = []
+        for kind, count, cycle, target in items:
+            for i in range(count):
+                c = cycle + i if cycle is not None \
+                    else rng.randrange(CYCLE_LO, CYCLE_HI)
+                specs.append(FaultSpec(kind=kind, cycle=c, target=target))
+        return cls(specs, seed=seed)
+
+    # -- serialisation ---------------------------------------------------
+    def to_spec(self) -> str:
+        """Fully resolved spec string; ``parse`` round-trips it exactly."""
+        return ",".join(s.to_spec() for s in self.specs)
+
+    def describe(self) -> str:
+        if not self.specs:
+            return "empty fault plan"
+        by_kind: dict = {}
+        for s in self.specs:
+            by_kind[s.kind] = by_kind.get(s.kind, 0) + 1
+        kinds = " ".join(f"{k}:{n}" for k, n in sorted(by_kind.items()))
+        return f"{len(self.specs)} fault(s) [{kinds}]"
+
+    def for_program(self, program_name: str) -> List[FaultSpec]:
+        """The specs that apply to ``program_name``, cycle-ordered."""
+        return [s for s in self.specs if s.applies_to(program_name)]

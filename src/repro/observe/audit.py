@@ -120,6 +120,8 @@ class AuditTrail(Observer):
         self.branches: Dict[int, List[int]] = {}
         self.pcs: Dict[int, PCStats] = {}
         self._texts: Dict[int, str] = {}
+        #: injected-fault log (repro.faults): kind/detail/cycle dicts
+        self.faults: List[dict] = []
 
     def attach(self, core) -> None:
         super().attach(core)
@@ -204,6 +206,9 @@ class AuditTrail(Observer):
     def on_coherence_conflict(self, pc: int, addr: int, cycle: int) -> None:
         self._pc(pc).conflicts += 1
 
+    def on_fault_injected(self, kind: str, detail: str, cycle: int) -> None:
+        self.faults.append({"kind": kind, "detail": detail, "cycle": cycle})
+
     # -- queries ---------------------------------------------------------
     def hard_branch_reasons(self) -> Dict[int, str]:
         """Dominant reuse-blocking reason per examined branch PC.
@@ -258,6 +263,13 @@ class AuditTrail(Observer):
                 "why: per-instruction vectorization outcomes",
                 ["pc", "instruction", "batches", "alloc-fail", "valid",
                  "fail", "conflicts", "fail causes"], vrows))
+        if self.faults:
+            parts.append("")
+            parts.append(format_table(
+                "why: injected faults and their outcomes",
+                ["cycle", "kind", "detail"],
+                [[f["cycle"], f["kind"], f["detail"]]
+                 for f in self.faults]))
         return "\n".join(parts)
 
     # -- worker transport ------------------------------------------------
@@ -268,6 +280,7 @@ class AuditTrail(Observer):
                          for pc, v in self.branches.items()},
             "pcs": {str(pc): st.as_dict() for pc, st in self.pcs.items()},
             "texts": {str(pc): t for pc, t in self._texts.items()},
+            "faults": [dict(f) for f in self.faults],
         }
 
     @classmethod
@@ -284,6 +297,7 @@ class AuditTrail(Observer):
                 out._pc(int(pc)).merge_from(stats)
             for pc, t in d.get("texts", {}).items():
                 out._texts.setdefault(int(pc), t)
+            out.faults.extend(dict(f) for f in d.get("faults", ()))
         return out.export_data()
 
     @classmethod
@@ -297,4 +311,5 @@ class AuditTrail(Observer):
         for pc, stats in merged["pcs"].items():
             out._pc(int(pc)).merge_from(stats)
         out._texts = {int(pc): t for pc, t in merged["texts"].items()}
+        out.faults = [dict(f) for f in merged.get("faults", ())]
         return out

@@ -119,6 +119,9 @@ class Observer:
     def on_coherence_conflict(self, pc: int, addr: int, cycle: int) -> None:
         """A committing store hit a replica range; the entry died."""
 
+    def on_fault_injected(self, kind: str, detail: str, cycle: int) -> None:
+        """A fault-injection harness perturbed the run (``repro.faults``)."""
+
     # -- worker transport ------------------------------------------------
     def export_data(self) -> dict:
         """Plain-data (JSON-able) form of everything observed."""

@@ -58,6 +58,8 @@ class EventKind(enum.Enum):
     SRSMT_ALLOC_FAIL = "srsmt-alloc-fail"
     VALIDATION = "validation"
     COHERENCE_CONFLICT = "coherence-conflict"
+    #: a fault-injection harness perturbed the run (repro.faults)
+    FAULT_INJECTED = "fault-injected"
 
     # -- retire family (architectural trace) -----------------------------
     RETIRE = "retire"
@@ -86,6 +88,7 @@ OBSERVER_HOOKS: Dict[EventKind, str] = {
     EventKind.SRSMT_ALLOC_FAIL: "on_srsmt_alloc_fail",
     EventKind.VALIDATION: "on_validation",
     EventKind.COHERENCE_CONFLICT: "on_coherence_conflict",
+    EventKind.FAULT_INJECTED: "on_fault_injected",
 }
 
 PIPELINE_KINDS: Tuple[EventKind, ...] = (
@@ -99,6 +102,7 @@ MECHANISM_KINDS: Tuple[EventKind, ...] = (
     EventKind.CRP_DISARM, EventKind.CI_SELECTED, EventKind.SLICE_MARKED,
     EventKind.REPLICAS_CREATED, EventKind.SRSMT_ALLOC_FAIL,
     EventKind.VALIDATION, EventKind.COHERENCE_CONFLICT,
+    EventKind.FAULT_INJECTED,
 )
 
 

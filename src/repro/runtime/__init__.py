@@ -3,11 +3,14 @@
 Three cooperating pieces (see DESIGN.md):
 
 * :class:`ParallelRunner` / :func:`execute_jobs` — fan (kernel, config)
-  simulation jobs out over a process pool, with in-process fallback and
-  worker-side exception capture;
+  simulation jobs out over a process pool, with in-process fallback,
+  worker-side exception capture, a stall watchdog with retry, and a
+  ``keep_going`` mode that degrades failures into typed
+  :class:`FailedResult` holes instead of aborting the sweep;
 * :class:`ResultCache` — persistent content-addressed store of
   ``SimStats`` keyed by program hash + configuration + scale/seed +
-  schema version, with atomic concurrent-safe writes;
+  schema version, with atomic concurrent-safe writes, per-entry
+  checksums and quarantine of corrupt files;
 * :func:`profile_kernel` — cProfile harness over one simulation for
   hot-loop work.
 
@@ -18,6 +21,7 @@ the cache for free.
 
 from .cache import (
     CACHE_SCHEMA,
+    CacheEntryError,
     ResultCache,
     cache_enabled,
     config_token,
@@ -26,25 +30,36 @@ from .cache import (
     program_fingerprint,
 )
 from .parallel import (
+    FailedResult,
     ParallelRunner,
     SimJob,
     WorkerError,
+    aggregate_failure_report,
     default_jobs,
+    default_retries,
+    default_timeout,
     execute_jobs,
+    execute_jobs_observed,
 )
 from .profiling import profile_kernel
 
 __all__ = [
     "CACHE_SCHEMA",
+    "CacheEntryError",
+    "FailedResult",
     "ParallelRunner",
     "ResultCache",
     "SimJob",
     "WorkerError",
+    "aggregate_failure_report",
     "cache_enabled",
     "config_token",
     "default_cache_dir",
     "default_jobs",
+    "default_retries",
+    "default_timeout",
     "execute_jobs",
+    "execute_jobs_observed",
     "job_key",
     "profile_kernel",
     "program_fingerprint",

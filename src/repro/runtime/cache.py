@@ -15,11 +15,25 @@ directory listings small on big sweeps.  Writes go to a temporary file
 in the same directory followed by an atomic rename, so concurrent
 worker processes (or concurrent sessions) never observe a torn entry.
 
+Integrity (DESIGN.md §8): each entry is an envelope
+``{"schema": N, "sha256": <digest>, "stats": {...}}`` where the digest
+covers the canonical JSON of the stats payload.  Reads re-verify the
+checksum; an unparsable or checksum-failing file is *quarantined*
+(moved under ``<root>/quarantine/``) so a bad disk or torn write can
+never silently feed a wrong number into a figure, and the original
+bytes survive for inspection.  An entry with a different ``schema`` is
+a plain miss — valid data from another version, not corruption.
+``repro cache verify`` (:meth:`ResultCache.verify`) audits the whole
+store on demand.
+
 Environment knobs:
 
 * ``REPRO_CACHE_DIR`` — cache root (default ``$XDG_CACHE_HOME/repro-sim``
   or ``~/.cache/repro-sim``).
 * ``REPRO_CACHE=0`` — disable reads and writes entirely.
+* ``REPRO_FAULTS`` — when a fault plan is active the cache disables
+  itself: perturbed runs must never poison (or be served from) the
+  clean-result store.
 """
 
 from __future__ import annotations
@@ -29,13 +43,17 @@ import hashlib
 import json
 import os
 import tempfile
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..isa import Program
 from ..uarch import ProcessorConfig, SimStats
 
-#: bump when the timing model's behaviour changes (invalidates all entries)
-CACHE_SCHEMA = 1
+#: bump when the timing model's behaviour changes (invalidates all entries);
+#: schema 2 introduced the checksummed envelope
+CACHE_SCHEMA = 2
+
+#: subdirectory (under the cache root) where corrupt entries are parked
+QUARANTINE_DIR = "quarantine"
 
 
 def default_cache_dir() -> str:
@@ -48,6 +66,8 @@ def default_cache_dir() -> str:
 
 
 def cache_enabled() -> bool:
+    if os.environ.get("REPRO_FAULTS"):
+        return False
     return os.environ.get("REPRO_CACHE", "1").lower() not in ("0", "off", "no")
 
 
@@ -87,8 +107,39 @@ def job_key(program: Program, cfg: ProcessorConfig,
     return h.hexdigest()
 
 
+def _stats_digest(stats_dict: dict) -> str:
+    """Checksum over the canonical JSON form of a stats payload."""
+    canonical = json.dumps(stats_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class CacheEntryError(ValueError):
+    """An entry exists but cannot be trusted (corrupt / checksum fail)."""
+
+
+def _decode_entry(text: str) -> Optional[dict]:
+    """Parse + verify one envelope; stats dict, None on schema mismatch.
+
+    Raises :class:`CacheEntryError` on anything untrustworthy: junk
+    bytes, a missing envelope field, or a checksum mismatch.
+    """
+    try:
+        envelope = json.loads(text)
+    except ValueError as exc:
+        raise CacheEntryError(f"unparsable JSON: {exc}") from None
+    if not isinstance(envelope, dict) or "stats" not in envelope \
+            or "sha256" not in envelope or "schema" not in envelope:
+        raise CacheEntryError("not a cache envelope")
+    if envelope["schema"] != CACHE_SCHEMA:
+        return None  # another version's valid data: a miss, not corruption
+    stats = envelope["stats"]
+    if _stats_digest(stats) != envelope["sha256"]:
+        raise CacheEntryError("checksum mismatch")
+    return stats
+
+
 class ResultCache:
-    """On-disk ``SimStats`` store with atomic writes.
+    """On-disk ``SimStats`` store with atomic writes and checksummed reads.
 
     A ``ResultCache`` is cheap to construct; the root directory is only
     created on the first write.
@@ -98,24 +149,59 @@ class ResultCache:
                  enabled: Optional[bool] = None):
         self.root = root or default_cache_dir()
         self.enabled = cache_enabled() if enabled is None else enabled
+        #: entries moved aside by this instance (key paths, for reporting)
+        self.quarantined: List[str] = []
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
 
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a corrupt entry under ``<root>/quarantine/`` (best effort)."""
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, os.path.join(qdir, os.path.basename(path)))
+            self.quarantined.append(path)
+        except OSError:
+            pass
+
     def get(self, key: str) -> Optional[SimStats]:
-        """The cached stats for ``key``, or None (miss / disabled / corrupt)."""
+        """The cached stats for ``key``, or None.
+
+        A miss is silent (absent, disabled, or a different schema); a
+        *corrupt* entry — junk bytes or a failed checksum — is moved to
+        the quarantine directory so it is never consulted again and the
+        evidence survives.
+        """
         if not self.enabled:
             return None
+        path = self.path_for(key)
         try:
-            with open(self.path_for(key)) as fh:
-                return SimStats.from_dict(json.load(fh))
-        except (OSError, ValueError, TypeError):
+            with open(path) as fh:
+                text = fh.read()
+        except OSError:
+            return None
+        try:
+            stats = _decode_entry(text)
+        except CacheEntryError as exc:
+            self._quarantine(path, str(exc))
+            return None
+        if stats is None:
+            return None
+        try:
+            return SimStats.from_dict(stats)
+        except (ValueError, TypeError, KeyError):
+            self._quarantine(path, "stats payload does not deserialise")
             return None
 
     def put(self, key: str, stats: SimStats) -> None:
         """Store ``stats`` under ``key`` (write-to-temp + atomic rename)."""
         if not self.enabled:
             return
+        stats_dict = stats.to_dict()
+        envelope = {"schema": CACHE_SCHEMA,
+                    "sha256": _stats_digest(stats_dict),
+                    "stats": stats_dict}
         path = self.path_for(key)
         shard = os.path.dirname(path)
         try:
@@ -123,7 +209,7 @@ class ResultCache:
             fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w") as fh:
-                    json.dump(stats.to_dict(), fh, separators=(",", ":"))
+                    json.dump(envelope, fh, separators=(",", ":"))
                 os.replace(tmp, path)
             except BaseException:
                 os.unlink(tmp)
@@ -131,20 +217,66 @@ class ResultCache:
         except OSError:
             pass  # a read-only or full cache never fails the simulation
 
+    def _entries(self):
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            if os.path.basename(dirpath) == QUARANTINE_DIR:
+                dirnames[:] = []
+                continue
+            for name in sorted(filenames):
+                if name.endswith(".json"):
+                    yield os.path.join(dirpath, name)
+
+    def verify(self, quarantine: bool = True) -> Dict[str, object]:
+        """Audit every entry: parse, checksum, deserialise.
+
+        Returns counters plus the list of bad paths; with ``quarantine``
+        (the default) bad entries are moved aside like a failing read
+        would.  Other-schema entries count as ``stale`` and are left in
+        place.
+        """
+        ok = stale = 0
+        bad: List[Tuple[str, str]] = []
+        for path in self._entries():
+            try:
+                with open(path) as fh:
+                    stats = _decode_entry(fh.read())
+                if stats is None:
+                    stale += 1
+                    continue
+                SimStats.from_dict(stats)
+                ok += 1
+            except CacheEntryError as exc:
+                bad.append((path, str(exc)))
+            except (OSError, ValueError, TypeError, KeyError) as exc:
+                bad.append((path, f"stats payload does not deserialise: "
+                                  f"{exc}"))
+        if quarantine:
+            for path, reason in bad:
+                self._quarantine(path, reason)
+        return {"root": self.root, "ok": ok, "stale": stale,
+                "corrupt": len(bad),
+                "bad": [{"path": p, "reason": r} for p, r in bad]}
+
     def info(self) -> Dict[str, object]:
         """Entry count and footprint (for ``repro cache info``)."""
         entries = 0
         size = 0
+        quarantined = 0
         for dirpath, _dirnames, filenames in os.walk(self.root):
+            in_quarantine = os.path.basename(dirpath) == QUARANTINE_DIR
             for name in filenames:
                 if name.endswith(".json"):
+                    if in_quarantine:
+                        quarantined += 1
+                        continue
                     entries += 1
                     try:
                         size += os.path.getsize(os.path.join(dirpath, name))
                     except OSError:
                         pass
         return {"root": self.root, "enabled": self.enabled,
-                "entries": entries, "bytes": size}
+                "entries": entries, "bytes": size,
+                "quarantined": quarantined}
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""

@@ -9,8 +9,18 @@ points, so ``ParallelRunner`` fans simulation jobs out over a
 * ``jobs == 1`` (or a single-job batch, or a platform without working
   multiprocessing) falls back to plain in-process execution;
 * workers capture exceptions and ship the traceback back as data, so a
-  failed simulation surfaces as one clean ``WorkerError`` instead of a
-  hung or poisoned pool.
+  failed simulation surfaces as one clean report instead of a hung or
+  poisoned pool.
+
+Failure handling (DESIGN.md §8): results are collected as futures
+complete under a stall watchdog (``timeout`` / ``REPRO_TIMEOUT`` — if
+*no* job makes progress for that long, the pending ones are declared
+hung), transient failures (timeouts, a broken pool) are retried with
+exponential backoff (``retries`` / ``REPRO_RETRIES``), and every
+permanent failure is aggregated: the default mode raises one
+:class:`WorkerError` naming *all* failed jobs, while ``keep_going``
+mode substitutes a typed :class:`FailedResult` placeholder per failure
+so sweeps complete with explicit holes instead of aborting.
 
 Results are shared at three levels: an in-process memo (same object
 returned for repeat queries, which downstream code relies on), the
@@ -20,12 +30,15 @@ pool itself (duplicate jobs within one batch are submitted once).
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
+import sys
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..uarch import ProcessorConfig, SimStats
 from .cache import ResultCache, job_key
@@ -62,7 +75,60 @@ class SimJob:
 
 
 class WorkerError(RuntimeError):
-    """A simulation failed inside a worker process."""
+    """One or more simulations failed inside worker processes."""
+
+
+class FailedResult:
+    """Typed placeholder for a simulation that could not produce stats.
+
+    Under ``keep_going`` a failed job yields one of these instead of
+    aborting the sweep.  It duck-types as ``SimStats`` for reporting:
+    every unknown attribute reads as ``nan``, so derived metrics (IPC,
+    speedups, harmonic means) propagate the hole and tables render it as
+    an explicit ``--`` marker instead of a silently wrong number.
+    """
+
+    failed = True
+
+    def __init__(self, kernel: str, scale: float, seed: int, error: str,
+                 phase: str = "worker", attempts: int = 1):
+        self.kernel = kernel
+        self.scale = scale
+        self.seed = seed
+        self.error = error
+        #: where it died: ``worker`` (exception inside the simulation),
+        #: ``timeout`` (stall watchdog), or ``pool`` (executor breakage)
+        self.phase = phase
+        self.attempts = attempts
+
+    def describe(self) -> str:
+        last = self.error.rstrip().splitlines()[-1] if self.error else "?"
+        return (f"{self.kernel} (scale={self.scale}, seed={self.seed}) "
+                f"failed [{self.phase}, attempt {self.attempts}]: {last}")
+
+    def to_dict(self) -> dict:
+        return {"failed": True, "kernel": self.kernel, "scale": self.scale,
+                "seed": self.seed, "phase": self.phase,
+                "attempts": self.attempts, "error": self.error}
+
+    def __repr__(self) -> str:
+        return f"<FailedResult {self.kernel} [{self.phase}]>"
+
+    def __getattr__(self, name: str):
+        # Stats-like attribute reads propagate the hole as NaN.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return math.nan
+
+
+class _Failure:
+    """Internal per-attempt failure record (phase + error text)."""
+
+    __slots__ = ("phase", "error")
+
+    def __init__(self, phase: str, error: str):
+        self.phase = phase
+        self.error = error
 
 
 def default_jobs() -> int:
@@ -72,8 +138,35 @@ def default_jobs() -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            print(f"warning: unparsable REPRO_JOBS={env!r}; falling back "
+                  f"to the machine's core count", file=sys.stderr)
     return os.cpu_count() or 1
+
+
+def default_timeout() -> Optional[float]:
+    """Stall-watchdog seconds from ``REPRO_TIMEOUT`` (0/empty = none)."""
+    env = os.environ.get("REPRO_TIMEOUT")
+    if not env:
+        return None
+    try:
+        value = float(env)
+    except ValueError:
+        print(f"warning: unparsable REPRO_TIMEOUT={env!r}; watchdog "
+              f"disabled", file=sys.stderr)
+        return None
+    return value if value > 0 else None
+
+
+def default_retries() -> int:
+    """Transient-failure retries from ``REPRO_RETRIES`` (default 1)."""
+    env = os.environ.get("REPRO_RETRIES")
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            print(f"warning: unparsable REPRO_RETRIES={env!r}; using the "
+                  f"default", file=sys.stderr)
+    return 1
 
 
 def _run_job(job: SimJob) -> Tuple[Optional[dict], Optional[dict],
@@ -104,42 +197,159 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+#: one result slot: (stats dict, payload) on success, else a _Failure
+_Slot = Union[Tuple[Optional[dict], Optional[dict]], "_Failure", None]
+
+
+def _run_serial(jobs: Sequence[SimJob], indexes: Sequence[int],
+                results: List[_Slot]) -> None:
+    for i in indexes:
+        stats, payload, err = _run_job(jobs[i])
+        results[i] = _Failure("worker", err) if err is not None \
+            else (stats, payload)
+
+
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Kill a stalled pool's worker processes so shutdown cannot hang."""
+    try:
+        for proc in list(pool._processes.values()):
+            proc.terminate()
+    except (AttributeError, OSError):  # pragma: no cover - interpreter detail
+        pass
+
+
+def _run_pool_pass(jobs: Sequence[SimJob], indexes: Sequence[int],
+                   results: List[_Slot], n_workers: int,
+                   timeout: Optional[float]) -> List[int]:
+    """One pool attempt over ``jobs[indexes]``; returns transient failures.
+
+    Futures are collected as they complete.  The watchdog is a *stall*
+    timeout: if no job at all completes within ``timeout`` seconds, the
+    still-pending jobs are declared hung, their workers terminated, and
+    their indexes returned for retry (alongside pool-level breakage);
+    per-job exceptions captured by the worker are permanent and recorded
+    directly into ``results``.
+    """
+    transient: List[int] = []
+    try:
+        with ProcessPoolExecutor(max_workers=min(n_workers, len(indexes)),
+                                 mp_context=_pool_context()) as pool:
+            futures = {pool.submit(_run_job, jobs[i]): i for i in indexes}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, timeout=timeout,
+                                     return_when=FIRST_COMPLETED)
+                if not done:
+                    # Stall: nothing completed inside the watchdog window.
+                    for f in pending:
+                        f.cancel()
+                        i = futures[f]
+                        results[i] = _Failure(
+                            "timeout", f"no worker progress for "
+                                       f"{timeout:g}s (declared hung)")
+                        transient.append(i)
+                    _terminate_workers(pool)
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    break
+                for f in done:
+                    i = futures[f]
+                    exc = f.exception()
+                    if exc is not None:
+                        # Executor-level breakage (e.g. a worker died);
+                        # the job itself may be fine — retry it.
+                        results[i] = _Failure("pool", repr(exc))
+                        transient.append(i)
+                        continue
+                    stats, payload, err = f.result()
+                    results[i] = _Failure("worker", err) \
+                        if err is not None else (stats, payload)
+    except (OSError, ImportError):  # no usable multiprocessing
+        _run_serial(jobs, indexes, results)
+        return []
+    return transient
+
+
 def execute_jobs_observed(
-        jobs: Sequence[SimJob], n_workers: Optional[int] = None,
-) -> List[Tuple[SimStats, Optional[dict]]]:
+        jobs: Sequence[SimJob], n_workers: Optional[int] = None, *,
+        timeout: Optional[float] = None, retries: Optional[int] = None,
+        keep_going: bool = False,
+) -> List[Tuple[Union[SimStats, FailedResult], Optional[dict]]]:
     """Run ``jobs`` (possibly in parallel), preserving order.
 
     Returns one ``(stats, observer payload)`` pair per job — the payload
-    is ``None`` unless the job carried an ``observe`` spec.  Raises
-    :class:`WorkerError` carrying the remote traceback if any job
-    failed; the pool itself is never left hanging.
+    is ``None`` unless the job carried an ``observe`` spec.  Transient
+    failures (stall timeouts, executor breakage) are retried up to
+    ``retries`` times with exponential backoff on a fresh pool.  When
+    failures remain: with ``keep_going`` each failed slot holds a
+    :class:`FailedResult` placeholder; otherwise one :class:`WorkerError`
+    aggregating *every* failure is raised.  The pool is never left
+    hanging — stalled workers are terminated.
     """
     n = default_jobs() if n_workers is None else max(1, n_workers)
-    results: List[Tuple[Optional[dict], Optional[dict], Optional[str]]]
-    if n <= 1 or len(jobs) <= 1:
-        results = [_run_job(j) for j in jobs]
-    else:
-        try:
-            with ProcessPoolExecutor(
-                    max_workers=min(n, len(jobs)),
-                    mp_context=_pool_context()) as pool:
-                results = list(pool.map(_run_job, jobs))
-        except (OSError, ImportError):  # no usable multiprocessing
-            results = [_run_job(j) for j in jobs]
-    out: List[Tuple[SimStats, Optional[dict]]] = []
-    for job, (stats, payload, err) in zip(jobs, results):
-        if err is not None:
-            raise WorkerError(
-                f"simulation of {job.kernel!r} (scale={job.scale}, "
-                f"seed={job.seed}) failed in worker:\n{err}")
-        out.append((SimStats.from_dict(stats), payload))
+    if timeout is None:
+        timeout = default_timeout()
+    elif timeout <= 0:
+        timeout = None
+    retries = default_retries() if retries is None else max(0, retries)
+    results: List[_Slot] = [None] * len(jobs)
+    attempts = [0] * len(jobs)
+    outstanding = list(range(len(jobs)))
+    attempt = 0
+    while outstanding:
+        for i in outstanding:
+            attempts[i] += 1
+        if n <= 1 or len(outstanding) <= 1:
+            # In-process execution: no pool, no watchdog (a hang here
+            # would hang the caller anyway), no transient failures.
+            _run_serial(jobs, outstanding, results)
+            transient: List[int] = []
+        else:
+            transient = _run_pool_pass(jobs, outstanding, results, n,
+                                       timeout)
+        if not transient or attempt >= retries:
+            break
+        attempt += 1
+        time.sleep(min(2.0, 0.1 * (2 ** (attempt - 1))))
+        outstanding = sorted(transient)
+    out: List[Tuple[Union[SimStats, FailedResult], Optional[dict]]] = []
+    failures: List[FailedResult] = []
+    for i, (job, slot) in enumerate(zip(jobs, results)):
+        if isinstance(slot, _Failure):
+            fr = FailedResult(job.kernel, job.scale, job.seed,
+                              error=slot.error, phase=slot.phase,
+                              attempts=attempts[i])
+            failures.append(fr)
+            out.append((fr, None))
+        else:
+            assert slot is not None
+            stats, payload = slot
+            out.append((SimStats.from_dict(stats), payload))
+    if failures and not keep_going:
+        raise WorkerError(aggregate_failure_report(failures))
     return out
+
+
+def aggregate_failure_report(failures: Sequence[FailedResult]) -> str:
+    """One report naming every failed job (summary lines + tracebacks)."""
+    lines = [f"{len(failures)} simulation(s) failed:"]
+    lines.extend(f"  [{i + 1}] {f.describe()}"
+                 for i, f in enumerate(failures))
+    for i, f in enumerate(failures):
+        if f.error:
+            lines.append(f"--- [{i + 1}] {f.kernel} (scale={f.scale}, "
+                         f"seed={f.seed}) [{f.phase}] ---")
+            lines.append(f.error.rstrip())
+    return "\n".join(lines)
 
 
 def execute_jobs(jobs: Sequence[SimJob],
                  n_workers: Optional[int] = None) -> List[SimStats]:
-    """Like :func:`execute_jobs_observed` but stats-only."""
+    """Like :func:`execute_jobs_observed` but stats-only (raise on fail)."""
     return [st for st, _ in execute_jobs_observed(jobs, n_workers)]
+
+
+def _env_truthy(name: str) -> bool:
+    return os.environ.get(name, "").lower() in ("1", "on", "yes", "true")
 
 
 class ParallelRunner:
@@ -150,12 +360,20 @@ class ParallelRunner:
     over the pool when a batch has more than one miss and ``jobs > 1``).
     ``memo_hits`` / ``disk_hits`` / ``sims_run`` count those outcomes so
     callers can report "zero new simulations" on a warm cache.
+
+    ``keep_going`` (or ``REPRO_KEEP_GOING=1``) turns job failures into
+    :class:`FailedResult` placeholders collected in ``self.failures``;
+    placeholders are never memoised or written to the disk cache, so a
+    later run retries the failed points.
     """
 
     def __init__(self, scale: float, seed: int,
                  jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
-                 observe: Optional[str] = None):
+                 observe: Optional[str] = None,
+                 keep_going: bool = False,
+                 timeout: Optional[float] = None,
+                 retries: Optional[int] = None):
         self.scale = scale
         self.seed = seed
         self.jobs = default_jobs() if jobs is None else max(1, jobs)
@@ -166,8 +384,13 @@ class ParallelRunner:
         #: (cached results carry no events, so observing bypasses the
         #: memo/disk lookups and re-simulates — stats stay identical)
         self.observe = observe
+        self.keep_going = keep_going or _env_truthy("REPRO_KEEP_GOING")
+        self.timeout = timeout
+        self.retries = retries
         #: (kernel, payload) per observed simulation, in submission order
         self.observations: List[Tuple[str, dict]] = []
+        #: FailedResult placeholders collected under ``keep_going``
+        self.failures: List[FailedResult] = []
         self._memo: Dict[tuple, SimStats] = {}
         self._programs: Dict[str, object] = {}
         self._disk_keys: Dict[tuple, str] = {}
@@ -212,7 +435,13 @@ class ParallelRunner:
                     self.memo_hits += 1
                     resolved[memo_key] = st
                     continue
-                st = self.cache.get(self._key(name, cfg))
+                try:
+                    st = self.cache.get(self._key(name, cfg))
+                except Exception:
+                    # The program itself won't build: skip the cache and
+                    # let the worker fail it with a full traceback, so
+                    # the error reports like any other job failure.
+                    st = None
                 if st is not None:
                     self.disk_hits += 1
                     self._memo[memo_key] = resolved[memo_key] = st
@@ -222,9 +451,16 @@ class ParallelRunner:
             sim_jobs = [SimJob(name, self.scale, self.seed, cfg,
                                observe=self.observe)
                         for name, cfg in pending]
-            results = execute_jobs_observed(sim_jobs, self.jobs)
+            results = execute_jobs_observed(
+                sim_jobs, self.jobs, timeout=self.timeout,
+                retries=self.retries, keep_going=self.keep_going)
             self.sims_run += len(sim_jobs)
             for memo_key, (st, payload) in zip(pending, results):
+                if isinstance(st, FailedResult):
+                    # A hole, not a result: report it, never cache it.
+                    self.failures.append(st)
+                    resolved[memo_key] = st
+                    continue
                 self._memo[memo_key] = resolved[memo_key] = st
                 self.cache.put(self._key(*memo_key), st)
                 if payload is not None:
@@ -241,8 +477,17 @@ class ParallelRunner:
         return merge_payloads([p for _, p in self.observations])
 
     # -- reporting -------------------------------------------------------
+    def failure_report(self) -> str:
+        """Aggregated report of every keep-going failure (or '')."""
+        if not self.failures:
+            return ""
+        return aggregate_failure_report(self.failures)
+
     def runtime_summary(self) -> str:
         """One-line accounting of where results came from."""
-        return (f"runtime: {self.sims_run} simulation(s) run "
+        line = (f"runtime: {self.sims_run} simulation(s) run "
                 f"({self.jobs} worker(s)), {self.disk_hits} disk-cache "
                 f"hit(s), {self.memo_hits} memo hit(s)")
+        if self.failures:
+            line += f", {len(self.failures)} FAILED"
+        return line

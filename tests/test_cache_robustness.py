@@ -1,0 +1,176 @@
+"""Robustness tests for the persistent result cache.
+
+The contract: a corrupt entry can never feed a wrong number into a
+figure.  Junk bytes and checksum failures are quarantined; entries from
+another schema are plain misses; concurrent writers never tear a file.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.runtime import CACHE_SCHEMA, ResultCache
+from repro.runtime.cache import QUARANTINE_DIR, cache_enabled
+from repro.runtime.parallel import ParallelRunner
+from repro.uarch import SimStats
+from repro.uarch.config import wb
+
+KEY = "ab" * 32
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=str(tmp_path / "cache"), enabled=True)
+
+
+def write_raw(cache, key, text):
+    path = cache.path_for(key)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return path
+
+
+def quarantined_files(cache):
+    qdir = os.path.join(cache.root, QUARANTINE_DIR)
+    return sorted(os.listdir(qdir)) if os.path.isdir(qdir) else []
+
+
+class TestCorruptEntries:
+    def test_junk_bytes_are_quarantined(self, cache):
+        path = write_raw(cache, KEY, "{garbage")
+        assert cache.get(KEY) is None
+        assert not os.path.exists(path)            # moved, not deleted
+        assert quarantined_files(cache) == [os.path.basename(path)]
+        assert cache.quarantined == [path]
+
+    def test_truncated_entry_is_quarantined(self, cache):
+        cache.put(KEY, SimStats(cycles=10, committed=7))
+        path = cache.path_for(KEY)
+        with open(path) as fh:
+            text = fh.read()
+        write_raw(cache, KEY, text[:len(text) // 2])
+        assert cache.get(KEY) is None
+        assert quarantined_files(cache)
+
+    def test_checksum_tamper_is_quarantined(self, cache):
+        cache.put(KEY, SimStats(cycles=10, committed=7))
+        path = cache.path_for(KEY)
+        with open(path) as fh:
+            envelope = json.load(fh)
+        envelope["stats"]["cycles"] = 99999        # silent bit-flip
+        with open(path, "w") as fh:
+            json.dump(envelope, fh)
+        assert cache.get(KEY) is None
+        assert quarantined_files(cache)
+
+    def test_missing_envelope_fields_are_quarantined(self, cache):
+        write_raw(cache, KEY, json.dumps({"cycles": 10}))
+        assert cache.get(KEY) is None
+        assert quarantined_files(cache)
+
+    def test_quarantined_entry_not_rescanned(self, cache):
+        write_raw(cache, KEY, "{garbage")
+        cache.get(KEY)
+        report = cache.verify()
+        assert report["ok"] == 0 and report["corrupt"] == 0
+
+    def test_intact_entry_survives(self, cache):
+        st = SimStats(cycles=10, committed=7)
+        cache.put(KEY, st)
+        assert cache.get(KEY) == st
+        assert quarantined_files(cache) == []
+
+
+class TestSchemaMismatch:
+    def test_other_schema_is_a_miss_not_corruption(self, cache):
+        cache.put(KEY, SimStats(cycles=10, committed=7))
+        path = cache.path_for(KEY)
+        with open(path) as fh:
+            envelope = json.load(fh)
+        envelope["schema"] = CACHE_SCHEMA - 1
+        with open(path, "w") as fh:
+            json.dump(envelope, fh)
+        assert cache.get(KEY) is None              # miss ...
+        assert os.path.exists(path)                # ... left in place
+        assert quarantined_files(cache) == []
+
+    def test_schema_mismatch_re_simulates(self, cache):
+        """A stale-schema entry must trigger a fresh simulation."""
+        cfg = wb(1, 256)
+        first = ParallelRunner(scale=0.05, seed=1, jobs=1, cache=cache)
+        st = first.run("eon", cfg)
+        assert first.sims_run == 1
+        # Downgrade the stored entry's schema in place.
+        key = first._key("eon", cfg)
+        path = cache.path_for(key)
+        with open(path) as fh:
+            envelope = json.load(fh)
+        envelope["schema"] = CACHE_SCHEMA - 1
+        with open(path, "w") as fh:
+            json.dump(envelope, fh)
+        second = ParallelRunner(scale=0.05, seed=1, jobs=1, cache=cache)
+        again = second.run("eon", cfg)
+        assert second.sims_run == 1 and second.disk_hits == 0
+        assert again == st
+
+
+class TestVerify:
+    def test_verify_counts_and_quarantines(self, cache):
+        cache.put(KEY, SimStats(cycles=10, committed=7))
+        write_raw(cache, "cd" * 32, "{junk")
+        report = cache.verify()
+        assert report["ok"] == 1 and report["corrupt"] == 1
+        assert quarantined_files(cache)
+        # Second pass is clean.
+        assert cache.verify()["corrupt"] == 0
+
+    def test_verify_without_quarantine_leaves_files(self, cache):
+        path = write_raw(cache, KEY, "{junk")
+        report = cache.verify(quarantine=False)
+        assert report["corrupt"] == 1
+        assert os.path.exists(path)
+
+    def test_info_counts_quarantined_separately(self, cache):
+        cache.put(KEY, SimStats(cycles=1))
+        write_raw(cache, "cd" * 32, "{junk")
+        cache.get("cd" * 32)
+        info = cache.info()
+        assert info["entries"] == 1 and info["quarantined"] == 1
+
+
+def _writer(root, key, cycles, n):
+    cache = ResultCache(root=root, enabled=True)
+    for i in range(n):
+        cache.put(key, SimStats(cycles=cycles, committed=cycles))
+
+
+class TestConcurrentWriters:
+    def test_parallel_writers_never_tear_an_entry(self, cache):
+        """Hammer one key from several processes; every read of the
+        final file must be a valid, checksummed entry."""
+        ctx = multiprocessing.get_context()
+        procs = [ctx.Process(target=_writer,
+                             args=(cache.root, KEY, 100 + i, 25))
+                 for i in range(4)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        assert all(p.exitcode == 0 for p in procs)
+        st = cache.get(KEY)
+        assert st is not None and st.cycles in (100, 101, 102, 103)
+        assert quarantined_files(cache) == []
+        leftovers = [n for _, _, names in os.walk(cache.root)
+                     for n in names if n.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestFaultModeDisablesCache:
+    def test_repro_faults_disables(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert cache_enabled()
+        monkeypatch.setenv("REPRO_FAULTS", "squash@100")
+        assert not cache_enabled()

@@ -1,20 +1,27 @@
 """Tests for the simulation runtime: pool, disk cache, determinism."""
 
+import math
 import os
+import time
 
 import pytest
 
 from repro import run_kernel
 from repro.runtime import (
+    FailedResult,
     ResultCache,
     SimJob,
     WorkerError,
     config_token,
     default_jobs,
+    default_retries,
+    default_timeout,
     execute_jobs,
+    execute_jobs_observed,
     job_key,
     program_fingerprint,
 )
+from repro.runtime import parallel as parallel_mod
 from repro.runtime.parallel import ParallelRunner
 from repro.uarch import SimStats
 from repro.uarch.config import ci, scal, wb
@@ -116,6 +123,134 @@ class TestExecuteJobs:
         assert default_jobs() == 7
         monkeypatch.setenv("REPRO_JOBS", "junk")
         assert default_jobs() >= 1
+
+    def test_default_jobs_warns_on_junk(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        default_jobs()
+        assert "REPRO_JOBS" in capsys.readouterr().err
+
+
+#: real worker entry point, captured before any monkeypatching
+_real_run_job = parallel_mod._run_job
+
+
+def _hang_on_mcf(job):
+    """Test stand-in worker: 'mcf' hangs forever, everything else runs."""
+    if job.kernel == "mcf":
+        time.sleep(600)
+    return _real_run_job(job)
+
+
+def _hang_once(job):
+    """Hangs 'mcf' on first sight (flag file), succeeds on retry."""
+    flag = os.environ["_REPRO_TEST_HANG_FLAG"]
+    if job.kernel == "mcf" and not os.path.exists(flag):
+        open(flag, "w").close()
+        time.sleep(600)
+    return _real_run_job(job)
+
+
+class TestResilience:
+    def test_worker_error_aggregates_all_failures(self):
+        jobs = [SimJob("nosuchkernel", SCALE, SEED, wb(1, 256)),
+                SimJob("eon", SCALE, SEED, wb(1, 256)),
+                SimJob("alsomissing", SCALE, SEED, wb(1, 256))]
+        with pytest.raises(WorkerError) as exc_info:
+            execute_jobs_observed(jobs, 2)
+        msg = str(exc_info.value)
+        assert msg.startswith("2 simulation(s) failed")
+        assert "nosuchkernel" in msg and "alsomissing" in msg
+        assert "Traceback" in msg          # full context, not just a name
+
+    def test_keep_going_returns_placeholders_in_order(self):
+        jobs = [SimJob("eon", SCALE, SEED, wb(1, 256)),
+                SimJob("nosuchkernel", SCALE, SEED, wb(1, 256)),
+                SimJob("gzip", SCALE, SEED, wb(1, 256))]
+        out = execute_jobs_observed(jobs, 2, keep_going=True)
+        assert len(out) == 3
+        assert out[0][0].committed > 0 and out[2][0].committed > 0
+        hole = out[1][0]
+        assert isinstance(hole, FailedResult) and hole.phase == "worker"
+        assert hole.kernel == "nosuchkernel"
+        assert "nosuchkernel" in hole.error
+
+    def test_failed_result_duck_types_as_nan(self):
+        fr = FailedResult("mcf", 0.1, 1, error="boom")
+        assert fr.failed is True
+        assert math.isnan(fr.ipc) and math.isnan(fr.reuse_fraction)
+        assert math.isnan(fr.ipc * 2 + 1)  # NaN propagates through math
+        assert "mcf" in fr.describe()
+        assert fr.to_dict()["failed"] is True
+        with pytest.raises(AttributeError):
+            fr._private
+
+    def test_stall_watchdog_times_out_hung_worker(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod, "_run_job", _hang_on_mcf)
+        jobs = [SimJob("eon", SCALE, SEED, wb(1, 256)),
+                SimJob("mcf", SCALE, SEED, wb(1, 256))]
+        start = time.monotonic()
+        out = execute_jobs_observed(jobs, 2, timeout=1.5, retries=0,
+                                    keep_going=True)
+        assert time.monotonic() - start < 30    # did not wait for sleep(600)
+        assert out[0][0].committed > 0
+        hole = out[1][0]
+        assert isinstance(hole, FailedResult) and hole.phase == "timeout"
+        assert "hung" in hole.error
+
+    def test_transient_timeout_is_retried(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("_REPRO_TEST_HANG_FLAG",
+                           str(tmp_path / "hung-once"))
+        monkeypatch.setattr(parallel_mod, "_run_job", _hang_once)
+        jobs = [SimJob("eon", SCALE, SEED, wb(1, 256)),
+                SimJob("mcf", SCALE, SEED, wb(1, 256))]
+        out = execute_jobs_observed(jobs, 2, timeout=1.5, retries=1)
+        assert all(st.committed > 0 for st, _ in out)   # recovered
+
+    def test_permanent_failures_are_not_retried(self):
+        # One pass only: a worker traceback is deterministic.
+        jobs = [SimJob("nosuchkernel", SCALE, SEED, wb(1, 256))]
+        out = execute_jobs_observed(jobs, 1, retries=3, keep_going=True)
+        assert out[0][0].attempts == 1
+
+    def test_runner_keep_going_collects_failures(self, cache):
+        r = ParallelRunner(scale=SCALE, seed=SEED, jobs=2, cache=cache,
+                           keep_going=True)
+        cfg = wb(1, 256)
+        out = r.run_many([("eon", cfg), ("nosuchkernel", cfg)])
+        assert out[0].committed > 0
+        assert getattr(out[1], "failed", False)
+        assert len(r.failures) == 1
+        assert "nosuchkernel" in r.failure_report()
+        assert "1 FAILED" in r.runtime_summary()
+
+    def test_failures_are_never_memoised_or_cached(self, cache):
+        r = ParallelRunner(scale=SCALE, seed=SEED, jobs=1, cache=cache,
+                           keep_going=True)
+        cfg = wb(1, 256)
+        out1 = r.run_many([("nosuchkernel", cfg)])
+        assert getattr(out1[0], "failed", False)
+        n = r.sims_run
+        out2 = r.run_many([("nosuchkernel", cfg)])
+        assert r.sims_run == n + 1     # re-attempted, not served from memo
+        assert getattr(out2[0], "failed", False)
+
+    def test_keep_going_env_variable(self, monkeypatch, cache):
+        monkeypatch.setenv("REPRO_KEEP_GOING", "1")
+        r = ParallelRunner(scale=SCALE, seed=SEED, jobs=1, cache=cache)
+        assert r.keep_going
+
+    def test_timeout_and_retries_env_parsing(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_TIMEOUT", "2.5")
+        assert default_timeout() == 2.5
+        monkeypatch.setenv("REPRO_TIMEOUT", "0")
+        assert default_timeout() is None
+        monkeypatch.setenv("REPRO_TIMEOUT", "soon")
+        assert default_timeout() is None
+        monkeypatch.setenv("REPRO_RETRIES", "4")
+        assert default_retries() == 4
+        monkeypatch.setenv("REPRO_RETRIES", "lots")
+        assert default_retries() == 1
+        assert "REPRO_TIMEOUT" in capsys.readouterr().err
 
 
 class TestParallelRunner:
