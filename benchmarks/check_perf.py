@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Perf gate: fail when cycles/sec regresses vs the committed baseline.
+
+Reads the machine-readable ``BENCH_runtime.json`` that the bench
+harness's conftest emits (see ``pytest_sessionfinish`` there), compares
+each bench's ``kcycles_per_s`` against ``baseline_runtime.json``, and
+exits non-zero if any bench fell more than ``--tolerance`` (default 30%)
+below its baseline.  stdlib only, so CI can run it without the test
+dependencies installed.
+
+Refresh the baseline after an intentional speed change::
+
+    python benchmarks/check_perf.py BENCH_runtime.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_BASELINE = os.path.join(HERE, "baseline_runtime.json")
+
+
+def load_current(path: str) -> dict:
+    with open(path) as fh:
+        report = json.load(fh)
+    current = {}
+    for bench in report.get("benchmarks", []):
+        kcps = bench.get("extra_info", {}).get("kcycles_per_s")
+        if kcps is not None:
+            current[bench["name"]] = float(kcps)
+    if not current:
+        sys.exit(f"error: no kcycles_per_s entries found in {path}")
+    return current
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("bench_json",
+                    help="BENCH_runtime.json emitted by the bench harness")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="committed baseline file (default: %(default)s)")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fractional regression (default: 0.30)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from bench_json and exit")
+    args = ap.parse_args(argv)
+
+    current = load_current(args.bench_json)
+
+    if args.update:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except FileNotFoundError:
+            baseline = {"note": "Committed perf baseline for check_perf.py."}
+        baseline["benchmarks"] = {
+            name: {"kcycles_per_s": kcps}
+            for name, kcps in sorted(current.items())}
+        with open(args.baseline, "w") as fh:
+            json.dump(baseline, fh, indent=2)
+            fh.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    failures = []
+    for name, entry in sorted(baseline["benchmarks"].items()):
+        base = float(entry["kcycles_per_s"])
+        floor = base * (1.0 - args.tolerance)
+        got = current.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from {args.bench_json}")
+            continue
+        verdict = "ok" if got >= floor else "REGRESSION"
+        print(f"{name}: {got:.1f} kcycles/s "
+              f"(baseline {base:.1f}, floor {floor:.1f}) {verdict}")
+        if got < floor:
+            failures.append(
+                f"{name}: {got:.1f} kcycles/s is more than "
+                f"{args.tolerance:.0%} below baseline {base:.1f}")
+    for extra in sorted(set(current) - set(baseline["benchmarks"])):
+        print(f"{extra}: {current[extra]:.1f} kcycles/s (no baseline; "
+              f"add via --update)")
+    if failures:
+        print("perf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ fail the harness.  Each bench asserts that the figure produced data and
 that most of its checks hold.
 """
 
+import json
 import os
 
 import pytest
@@ -21,10 +22,77 @@ os.environ.setdefault("REPRO_SCALE", "0.35")
 
 from repro.experiments import Runner  # noqa: E402  (after env setup)
 
+#: the shared session runner, exposed so the JSON emitter can report its
+#: cache counters alongside the timings (None until the fixture runs)
+_session_runner = None
+
 
 @pytest.fixture(scope="session")
 def runner():
-    return Runner()
+    global _session_runner
+    _session_runner = Runner()
+    return _session_runner
+
+
+def _report_dir() -> str:
+    report_dir = os.environ.get("REPRO_REPORT_DIR", ".")
+    os.makedirs(report_dir, exist_ok=True)
+    return report_dir
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit one machine-readable ``BENCH_<suite>.json`` per bench module.
+
+    ``bench_runtime.py`` becomes ``BENCH_runtime.json`` and so on, written
+    to ``REPRO_REPORT_DIR`` (default: the working directory).  Each file
+    carries wall-clock stats, the per-bench ``extra_info`` (cycles,
+    kcycles/s, recorded speedups) and the shared runner's cache counters,
+    so CI can diff runs without parsing pytest-benchmark's terminal table.
+    """
+    bs = getattr(session.config, "_benchmarksession", None)
+    benches = getattr(bs, "benchmarks", None) if bs is not None else None
+    if not benches:
+        return
+    by_suite = {}
+    for bench in benches:
+        modname = os.path.basename(bench.fullname.split("::", 1)[0])
+        if modname.startswith("bench_"):
+            modname = modname[len("bench_"):]
+        if modname.endswith(".py"):
+            modname = modname[:-3]
+        try:
+            entry = {
+                "name": bench.name,
+                "fullname": bench.fullname,
+                "wall_s_mean": bench["mean"],
+                "wall_s_min": bench["min"],
+                "rounds": bench["rounds"],
+                "extra_info": dict(bench.extra_info),
+            }
+        except (KeyError, TypeError):  # bench errored before stats existed
+            continue
+        by_suite.setdefault(modname, []).append(entry)
+    if not by_suite:
+        return
+    cache = None
+    if _session_runner is not None:
+        cache = {
+            "memo_hits": _session_runner.memo_hits,
+            "disk_hits": _session_runner.disk_hits,
+            "sims_run": _session_runner.sims_run,
+        }
+    report_dir = _report_dir()
+    for suite, entries in sorted(by_suite.items()):
+        payload = {
+            "suite": suite,
+            "scale": float(os.environ["REPRO_SCALE"]),
+            "cache": cache,
+            "benchmarks": entries,
+        }
+        path = os.path.join(report_dir, f"BENCH_{suite}.json")
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
 
 
 @pytest.fixture(scope="session")

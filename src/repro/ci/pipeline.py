@@ -97,6 +97,25 @@ class MechanismPipeline(MechanismHooks):
         # The core taxes store commit with the coherence check only when
         # replicated state exists to check against (Section 2.4.3).
         self.has_replicas = self.replicas is not None
+        # Flatten the dispatch delegation: it runs for every dynamic
+        # instruction (wrong paths included), so bind the installed
+        # components' handlers once instead of None-testing per call.
+        # The instance attribute shadows the class method below.
+        handlers = [c.on_dispatch for c in
+                    (self.tracker,
+                     self.squash_reuse if self.squash_reuse is not None
+                     else self.replicas)
+                    if c is not None]
+        if len(handlers) == 2:
+            h0, h1 = handlers
+
+            def _on_dispatch(inst, _h0=h0, _h1=h1):
+                _h0(inst)
+                _h1(inst)
+
+            self.on_dispatch = _on_dispatch
+        elif len(handlers) == 1:
+            self.on_dispatch = handlers[0]
 
     # ------------------------------------------------------------------
     # Shared event accounting (Figure 5 attribution).
@@ -157,6 +176,14 @@ class MechanismPipeline(MechanismHooks):
     def on_cycle(self, leftover_issue_slots: int, ports: "PortState") -> None:
         if self.replicas is not None:
             self.replicas.on_cycle(leftover_issue_slots, ports)
+
+    def next_event_cycle(self):
+        # Only the replica manager does per-cycle work (issue + drain);
+        # the filter/tracker/selector/squash-reuse components act solely
+        # at core events, which always veto the skip by definition.
+        if self.replicas is None:
+            return None
+        return self.replicas.next_event_cycle()
 
     def validated_extra_latency(self, inst: "DynInst") -> int:
         if self.spec_mem is None:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List
 
-from ..isa import ALU_EVAL
+from ..isa.predecode import F_LOAD, F_WRITES_REG
 from .srsmt import SCALAR, SELF, VEC, Operand, ReplicaScheduler, SRSMT, SRSMTEntry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -64,6 +64,21 @@ class ReplicaManager:
         #: consecutive validation failures per PC; instructions that can
         #: never validate (loop-variant scalar operands) stop re-vectorizing
         self._fail_streak: Dict[int, int] = {}
+        # Per-PC dispatch classification from the decode-once image:
+        # 1 = load with a destination, 2 = ALU-evaluable with a
+        # destination, 0 = nothing for the replica manager to do.  The
+        # dispatch hook runs for every dynamic instruction (wrong paths
+        # included), so the filter must be one indexed read.
+        image = core.image
+        disp = bytearray(image.n)
+        for pc in range(image.n):
+            f = image.flags[pc]
+            if f & F_WRITES_REG:
+                if f & F_LOAD:
+                    disp[pc] = 1
+                elif image.alu_fn[pc] is not None:
+                    disp[pc] = 2
+        self._disp_kind = bytes(disp)
 
     # ------------------------------------------------------------------
     # Resource accounting for replica destinations.
@@ -145,11 +160,12 @@ class ReplicaManager:
     # Dispatch: stride propagation, validation, replication.
     # ------------------------------------------------------------------
     def on_dispatch(self, inst: "DynInst") -> None:
-        instr = inst.instr
-        if instr.is_load and instr.rd is not None:
-            self._dispatch_load(inst)
-        elif instr.rd is not None and instr.op in ALU_EVAL:
-            self._dispatch_alu(inst)
+        k = self._disp_kind[inst.pc]
+        if k:
+            if k == 1:
+                self._dispatch_load(inst)
+            else:
+                self._dispatch_alu(inst)
 
     def _dispatch_load(self, inst: "DynInst") -> None:
         instr = inst.instr
@@ -261,7 +277,16 @@ class ReplicaManager:
                 rename.vect_pc[instr.rd] = inst.pc
                 return
             entry = None
-        if not any(self._vect_pc_of(inst, r) is not None for r in instr.srcs):
+        # Fast early-out (inlined _vect_pc_of): most ALU instructions have
+        # no vectorized source and leave here after two table reads.
+        vect_pc = rename.vect_pc
+        undo = inst.rename_undo
+        rd = instr.rd
+        for r in instr.srcs:
+            v = undo[2] if (undo is not None and r == rd) else vect_pc[r]
+            if v is not None:
+                break
+        else:
             return
         if self._chronically_failing(inst.pc):
             return  # this PC (almost) never validates: stop churning
@@ -451,6 +476,8 @@ class ReplicaManager:
                 entry.commit += 1
 
     def on_store_commit(self, inst: "DynInst") -> bool:
+        if not self.srsmt:
+            return False  # nothing replicated: nothing to check
         conflict = False
         addr = inst.eff_addr
         exact = self.cfg.ci_exact_range_check
@@ -505,3 +532,17 @@ class ReplicaManager:
         max_writes = (spec_mem.write_ports if spec_mem else None)
         self.scheduler.issue(now, leftover_issue_slots, ports, self.stats,
                              max_mem_writes=max_writes)
+
+    def next_event_cycle(self):
+        if self._vect_wait:
+            # The dispatch gate's drain/reclaim logic must re-evaluate the
+            # free list every cycle while a vector instruction is stalled.
+            return 0
+        sched = self.scheduler
+        if sched.pending:
+            return 0  # replicas may issue with leftover slots any cycle
+        if sched.completions:
+            # Operand-blocked replicas are parked on producer completions;
+            # the next drain is the next possible wake-up.
+            return sched.completions[0].cycle
+        return None

@@ -133,9 +133,13 @@ class SRSMT:
         self.table: SetAssocTable[SRSMTEntry] = SetAssocTable(sets, ways)
         self.release = release or (lambda e: None)
         self.alloc_failures = 0
+        #: flat pc → entry mirror of the table.  ``lookup`` runs on the
+        #: per-dispatch hot path; the set-associative walk only matters
+        #: for capacity and eviction policy, so reads take the flat path.
+        self._by_pc: dict = {}
 
     def lookup(self, pc: int) -> Optional[SRSMTEntry]:
-        return self.table.lookup(pc, refresh=False)
+        return self._by_pc.get(pc)
 
     def deallocate(self, entry: SRSMTEntry) -> None:
         """Free an entry and its remaining resources."""
@@ -143,6 +147,7 @@ class SRSMT:
         self.release(entry)
         entry.regs_held = 0
         self.table.remove(entry.pc)
+        self._by_pc.pop(entry.pc, None)
 
     def try_insert(self, entry: SRSMTEntry) -> bool:
         """Insert a new entry, evicting a dead LRU entry if necessary.
@@ -164,10 +169,17 @@ class SRSMT:
                 return False
             self.deallocate(victim)
         self.table.insert(entry.pc, entry)
+        self._by_pc[entry.pc] = entry
         return True
 
     def all_entries(self) -> List[SRSMTEntry]:
-        return list(self.table.values())
+        # Snapshot from the flat mirror: callers deallocate while
+        # iterating, and the store-coherence check runs per committed
+        # store — walking the 64 per-set dicts each time is pure waste.
+        return list(self._by_pc.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._by_pc)
 
     def on_recovery(self) -> List[SRSMTEntry]:
         """Branch-misprediction recovery (Sections 2.3.3 / 2.4.2 / 2.4.4).
@@ -202,16 +214,38 @@ class ReplicaScheduler:
 
     def __init__(self, load_latency: Callable[[int, int], int],
                  mem_read: Callable[[int], int]):
-        self.pending: List[Tuple[SRSMTEntry, int, int]] = []  # (entry, idx, gen)
+        #: scannable replicas, a heap of (idx, serial, entry, generation).
+        #: The serial is a global enqueue counter, so (idx, serial) is a
+        #: unique key reproducing the paper's replica-index issue order
+        #: (same-index replicas in batch-arrival order) no matter how
+        #: items move between this heap and the wait lists — and when the
+        #: per-cycle issue budget runs out the scan just stops popping,
+        #: leaving the untouched tail exactly where it is.
+        self.pending: List[Tuple[int, int, SRSMTEntry, int]] = []
         self.completions: List[_Completion] = []
         self._tick = 0
+        self._serial = 0
         self.load_latency = load_latency
         self.mem_read = mem_read
         self.executed = 0
+        #: operand-blocked replicas parked off the scan path, keyed by the
+        #: producer replica they wait on: (id(producer_entry), replica_idx)
+        #: → items.  A drained completion for that replica re-activates
+        #: them.  Replica readiness is monotonic (``done`` flags are only
+        #: ever set, never cleared; deallocation kills by generation), so
+        #: parking is sound: a parked item can never become issuable before
+        #: its wake event.  Items whose producer dies un-woken linger here
+        #: harmlessly — they are dead-generation and would be dropped on
+        #: any scan.
+        self._waiters: dict = {}
 
     def enqueue_batch(self, entry: SRSMTEntry) -> None:
+        serial = self._serial
+        gen = entry.generation
+        push = heapq.heappush
         for i in range(entry.nregs):
-            self.pending.append((entry, i, entry.generation))
+            push(self.pending, (i, serial + i, entry, gen))
+        self._serial = serial + entry.nregs
 
     _DEAD = object()
 
@@ -237,6 +271,12 @@ class ReplicaScheduler:
         while self.completions and self.completions[0].cycle <= now:
             c = heapq.heappop(self.completions)
             e = c.entry
+            woken = self._waiters.pop((id(e), c.idx), None)
+            if woken is not None:
+                # Re-activate parked consumers; the (idx, serial) heap key
+                # restores their exact scan position.
+                for item in woken:
+                    heapq.heappush(self.pending, item)
             if e.generation != c.generation:
                 continue  # entry was deallocated while executing
             e.done[c.idx] = True
@@ -245,32 +285,41 @@ class ReplicaScheduler:
     def issue(self, now: int, slots: int, ports, stats,
               max_mem_writes: Optional[int] = None) -> int:
         """Issue up to ``slots`` ready replicas; returns the number issued."""
-        if slots <= 0 or not self.pending:
+        pending = self.pending
+        if slots <= 0 or not pending:
             return 0
         issued = 0
         writes = 0
-        keep: List[Tuple[SRSMTEntry, int, int]] = []
+        # Resource-blocked items (cache ports are a per-cycle resource)
+        # go back on the heap after the scan — appending them during the
+        # scan could re-pop them in the same cycle.
+        keep: List[Tuple[int, int, SRSMTEntry, int]] = []
+        waiters = self._waiters
+        pop = heapq.heappop
         # Issue in replica-index order so sibling entries' same-iteration
         # loads (which usually share a cache line) group into one wide
-        # access, as the scalar loads they shadow would.
-        self.pending.sort(key=lambda item: item[1])
-        for item in self.pending:
-            entry, idx, gen = item
-            if entry.generation != gen:
-                continue  # dead batch: drop silently
+        # access, as the scalar loads they shadow would.  The heap pops
+        # in (idx, serial) order; when the budget runs out we simply stop.
+        while pending:
             if issued >= slots or (max_mem_writes is not None
                                    and writes >= max_mem_writes):
-                keep.append(item)
-                continue
+                break
+            item = pop(pending)
+            idx, _serial, entry, gen = item
+            if entry.generation != gen:
+                continue  # dead batch: drop silently
             value: Optional[int] = None
             lat = 0
             if entry.is_load:
                 if entry.addr_operand is not None:
-                    base = self._operand_value(entry, entry.addr_operand, idx)
+                    opnd = entry.addr_operand
+                    base = self._operand_value(entry, opnd, idx)
                     if base is self._DEAD:
                         continue
                     if base is None:
-                        keep.append(item)
+                        key = ((id(entry), idx - 1) if opnd.kind == SELF
+                               else (id(opnd.producer), opnd.base + idx))
+                        waiters.setdefault(key, []).append(item)
                         continue
                     addr = (base + entry.instr.imm) & ((1 << 64) - 1)
                 else:
@@ -284,22 +333,42 @@ class ReplicaScheduler:
                 value = self.mem_read(addr)
                 lat = self.load_latency(addr, now)
             else:
+                # Inlined _operand_value: collect values until the first
+                # not-yet-done producer replica, and park on it.
                 vals = []
-                ready = True
                 dead = False
+                wait_key = None
                 for opnd in entry.operands:
-                    v = self._operand_value(entry, opnd, idx)
-                    if v is self._DEAD:
+                    kind = opnd.kind
+                    if kind == SCALAR:
+                        vals.append(opnd.value)
+                        continue
+                    if kind == SELF:
+                        if idx == 0:
+                            vals.append(opnd.value)
+                            continue
+                        if entry.done[idx - 1]:
+                            vals.append(entry.values[idx - 1])
+                            continue
+                        wait_key = (id(entry), idx - 1)
+                        break
+                    prod = opnd.producer
+                    if prod is None \
+                            or prod.generation != opnd.producer_generation:
                         dead = True
                         break
-                    if v is None:
-                        ready = False
+                    j = opnd.base + idx
+                    if j >= prod.nregs:
+                        dead = True
                         break
-                    vals.append(v)
+                    if not prod.done[j]:
+                        wait_key = (id(prod), j)
+                        break
+                    vals.append(prod.values[j])
                 if dead:
                     continue  # producers gone: replica can never execute
-                if not ready:
-                    keep.append(item)
+                if wait_key is not None:
+                    waiters.setdefault(wait_key, []).append(item)
                     continue
                 a = vals[0] if vals else 0
                 b = vals[1] if len(vals) > 1 else 0
@@ -316,5 +385,6 @@ class ReplicaScheduler:
             heapq.heappush(self.completions,
                            _Completion(now + lat, self._tick, entry, idx,
                                        entry.generation))
-        self.pending = keep
+        for item in keep:
+            heapq.heappush(pending, item)
         return issued

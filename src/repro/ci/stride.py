@@ -33,13 +33,20 @@ class StridePredictor:
 
     def __init__(self, sets: int = 256, ways: int = 4):
         self.table: SetAssocTable[StrideEntry] = SetAssocTable(sets, ways)
+        #: flat pc → entry mirror for the recency-neutral reads on the
+        #: dispatch hot path; ``update`` keeps going through the table so
+        #: LRU order (and therefore eviction behaviour) is unchanged.
+        self._by_pc: dict = {}
 
     def update(self, pc: int, addr: int) -> StrideEntry:
         """Record one committed execution of the load at ``pc``."""
         e = self.table.lookup(pc)
         if e is None:
             e = StrideEntry(last_addr=addr)
-            self.table.insert(pc, e)
+            evicted = self.table.insert(pc, e)
+            if evicted is not None:
+                self._by_pc.pop(evicted[0], None)
+            self._by_pc[pc] = e
             return e
         stride = addr - e.last_addr
         if stride == e.stride:
@@ -52,11 +59,11 @@ class StridePredictor:
         return e
 
     def lookup(self, pc: int) -> Optional[StrideEntry]:
-        return self.table.lookup(pc, refresh=False)
+        return self._by_pc.get(pc)
 
     def confident(self, pc: int) -> Optional[StrideEntry]:
         """The entry if its stride prediction is currently trusted."""
-        e = self.table.lookup(pc, refresh=False)
+        e = self._by_pc.get(pc)
         if e is not None and e.confidence >= CONF_TRUST and e.stride != 0:
             return e
         return None
@@ -67,7 +74,7 @@ class StridePredictor:
 
         A load whose replicas conflicted with stores ``conflict_blacklist``
         or more times is refused (0 disables the blacklist)."""
-        e = self.table.lookup(pc, refresh=False)
+        e = self._by_pc.get(pc)
         if e is None:
             return False
         if conflict_blacklist and e.conflicts >= conflict_blacklist:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..isa import Instruction, Program
+from ..isa.predecode import F_COND_BRANCH, F_WRITES_REG
 from ..observe.events import ReuseEvent
 from .reconverge import CRP, NRBQ, estimate_reconvergent_point
 
@@ -47,6 +48,15 @@ class ReconvergenceTracker:
         self.event: Optional[ReuseEvent] = None
         self._decodes_since_reached = 0
         self._decodes_since_armed = 0
+        # Decode-once image views for the per-dispatch hot path.  The
+        # image's rd array is or-zero encoded, so precompute a per-PC
+        # "destination or None" that the NRBQ/CRP masks can consume
+        # directly (feeding the 0 placeholder would dirty register r0).
+        image = pipeline.core.image
+        self._flags = image.flags
+        self._rd_or_none = tuple(
+            rd if (f & F_WRITES_REG) else None
+            for f, rd in zip(image.flags, image.rd))
 
     # -- re-convergence estimates (cached per branch PC) -----------------
     def _estimate(self, program: Program, instr: Instruction) -> int:
@@ -62,15 +72,25 @@ class ReconvergenceTracker:
 
     # -- dispatch: NRBQ/CRP mask machinery -------------------------------
     def on_dispatch(self, inst: "DynInst") -> None:
-        instr = inst.instr
-        if instr.is_cond_branch:
-            self.nrbq.on_branch_fetch(inst.pc, self.reconv(instr), inst.seq)
-        else:
-            self.nrbq.on_instruction_fetch(instr.rd)
-        if not self.crp.active:
+        pc = inst.pc
+        rd = self._rd_or_none[pc]
+        if self._flags[pc] & F_COND_BRANCH:
+            est = self._reconv_cache.get(pc)
+            if est is None:
+                est = self._estimate(self.pipeline.core.program, inst.instr)
+                self._reconv_cache[pc] = est
+            self.nrbq.on_branch_fetch(pc, est, inst.seq)
+        elif rd is not None:
+            # Inlined NRBQ.on_instruction_fetch: one mask update per
+            # dispatched instruction.
+            entries = self.nrbq.entries
+            if entries:
+                entries[-1].mask |= 1 << rd
+        crp = self.crp
+        if not crp.active:
             return
-        past_reconv = self.crp.on_decode(inst.pc, instr.rd)
-        if not self.crp.active:
+        past_reconv = crp.on_decode(pc, rd)
+        if not crp.active:
             return
         if past_reconv:
             self._decodes_since_reached += 1

@@ -158,6 +158,14 @@ class FaultInjector(MechanismHooks):
     def validated_extra_latency(self, inst: "DynInst") -> int:
         return self.inner.validated_extra_latency(inst)
 
+    def next_event_cycle(self):
+        # Undelivered faults arm/retry from on_cycle (crash timers tick,
+        # state poisons probe for a live target), so the core must not
+        # skip cycles while any remain queued.
+        if any(self._queues.values()):
+            return 0
+        return self.inner.next_event_cycle()
+
     def on_cycle(self, leftover_issue_slots: int, ports: "PortState") -> None:
         spec = self._due("crash")
         if spec is not None:

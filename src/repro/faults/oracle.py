@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from ..isa.predecode import F_STORE, F_WRITES_REG
 from ..uarch.rob import MEM_ABSENT
 
 
@@ -32,18 +33,21 @@ def committed_state(core) -> Tuple[List[int], Dict[int, int]]:
     Non-destructive: walks the window youngest-to-oldest applying each
     in-flight instruction's undo record to *copies* of the speculative
     state, exactly as ``Core._undo`` would, without touching the core.
+    Reads the core's shared decode-once image for the structural facts.
     """
     regs = list(core.sregs)
     mem = dict(core.mem)
+    flags_a = core.image.flags
+    rd_a = core.image.rd
     for inst in reversed(core.window):
-        instr = inst.instr
-        if instr.is_store and inst.eff_addr is not None:
+        flags = flags_a[inst.pc]
+        if flags & F_STORE and inst.eff_addr is not None:
             if inst.mem_old is MEM_ABSENT:
                 mem.pop(inst.eff_addr, None)
             else:
                 mem[inst.eff_addr] = inst.mem_old
-        if instr.writes_reg and inst.sreg_old is not None:
-            regs[instr.rd] = inst.sreg_old
+        if flags & F_WRITES_REG and inst.sreg_old is not None:
+            regs[rd_a[inst.pc]] = inst.sreg_old
     return regs, mem
 
 

@@ -15,6 +15,7 @@ from .opcodes import (
     to_signed,
     to_unsigned,
 )
+from .predecode import ProgramImage, image_digest, predecode
 from .program import DATA_BASE, WORD, Program
 
 __all__ = [
@@ -34,9 +35,12 @@ __all__ = [
     "NUM_LOGICAL_REGS",
     "Op",
     "Program",
+    "ProgramImage",
     "WORD",
     "assemble",
+    "image_digest",
     "make_nop",
+    "predecode",
     "run",
     "to_signed",
     "to_unsigned",

@@ -9,7 +9,7 @@ Serves three roles:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from .instructions import (
@@ -23,7 +23,6 @@ from .instructions import (
     NUM_LOGICAL_REGS,
     Instruction,
 )
-from .opcodes import ALU_EVAL, BRANCH_COND, Op
 from .program import Program
 
 
@@ -69,57 +68,64 @@ def run(
     mutated in place when given.
     """
     code = program.code
-    ncode = len(code)
     if regs is None:
         regs = [0] * NUM_LOGICAL_REGS
     if memory is None:
         memory = program.initial_memory()
+
+    # Interpret over the shared decode-once image (repro.isa.predecode):
+    # flat per-pc tuples replace attribute chases, and the or-zero
+    # register encoding makes operand reads branchless (evaluation
+    # callables ignore their unused operands).
+    from .predecode import predecode
+    image = predecode(program)
+    ncode = image.n
+    kind_a = image.kind
+    rd_a = image.rd
+    rs1_a = image.rs1
+    rs2_a = image.rs2
+    imm_a = image.imm
+    target_a = image.target
+    alu_a = image.alu_fn
+    branch_a = image.branch_fn
 
     pc = 0
     steps = branches = taken = loads = stores = 0
     mask64 = (1 << 64) - 1
     mem_get = memory.get
 
-    # Dispatch on the precomputed per-instruction ``kind`` int and the
-    # resolved ``alu_fn``/``branch_fn`` callables: one attribute read
-    # replaces a chain of dict-membership tests per dynamic instruction.
     while 0 <= pc < ncode:
         if steps >= max_steps:
             raise InterpreterError(
                 f"program {program.name!r} exceeded {max_steps} steps (pc={pc})")
-        instr = code[pc]
         steps += 1
-        kind = instr.kind
+        kind = kind_a[pc]
         next_pc = pc + 1
         result: Optional[int] = None
         eff_addr: Optional[int] = None
 
         if kind == K_ALU:
-            a = regs[instr.rs1] if instr.rs1 is not None else 0
-            b = regs[instr.rs2] if instr.rs2 is not None else 0
-            result = instr.alu_fn(a, b, instr.imm)
-            regs[instr.rd] = result
+            result = alu_a[pc](regs[rs1_a[pc]], regs[rs2_a[pc]], imm_a[pc])
+            regs[rd_a[pc]] = result
         elif kind == K_LOAD:
-            eff_addr = (regs[instr.rs1] + instr.imm) & mask64
+            eff_addr = (regs[rs1_a[pc]] + imm_a[pc]) & mask64
             result = mem_get(eff_addr, 0)
-            regs[instr.rd] = result
+            regs[rd_a[pc]] = result
             loads += 1
         elif kind == K_STORE:
-            eff_addr = (regs[instr.rs1] + instr.imm) & mask64
-            memory[eff_addr] = regs[instr.rs2]
+            eff_addr = (regs[rs1_a[pc]] + imm_a[pc]) & mask64
+            memory[eff_addr] = regs[rs2_a[pc]]
             stores += 1
         elif kind == K_BRANCH:
-            a = regs[instr.rs1]
-            b = regs[instr.rs2] if instr.rs2 is not None else 0
             branches += 1
-            if instr.branch_fn(a, b):
+            if branch_a[pc](regs[rs1_a[pc]], regs[rs2_a[pc]]):
                 taken += 1
-                next_pc = instr.target
+                next_pc = target_a[pc]
         elif kind == K_JUMP:
-            next_pc = instr.target
+            next_pc = target_a[pc]
         elif kind == K_HALT:
             if trace_hook is not None:
-                trace_hook(pc, instr, None, None)
+                trace_hook(pc, code[pc], None, None)
             return InterpResult(steps=steps, halted=True, regs=regs,
                                 memory=memory, branches=branches, taken=taken,
                                 loads=loads, stores=stores)
@@ -127,10 +133,10 @@ def run(
             pass
         else:  # pragma: no cover - defensive
             raise InterpreterError(
-                f"unimplemented opcode {instr.op!r} at pc={pc}")
+                f"unimplemented opcode {code[pc].op!r} at pc={pc}")
 
         if trace_hook is not None:
-            trace_hook(pc, instr, result, eff_addr)
+            trace_hook(pc, code[pc], result, eff_addr)
         pc = next_pc
 
     return InterpResult(steps=steps, halted=False, regs=regs, memory=memory,

@@ -98,10 +98,18 @@ def program_fingerprint(program: Program) -> str:
 
 def job_key(program: Program, cfg: ProcessorConfig,
             scale: float, seed: int) -> str:
-    """Content-addressed cache key for one (program, config) simulation."""
+    """Content-addressed cache key for one (program, config) simulation.
+
+    Includes the decode-once image digest: the simulator executes the
+    *predecoded* program, so a predecoding change (a new structural
+    flag, a different operand encoding) invalidates cached results even
+    when the instruction stream itself is unchanged.
+    """
+    from ..isa.predecode import image_digest
     h = hashlib.sha256()
     h.update(f"schema={CACHE_SCHEMA}\n".encode())
     h.update(program_fingerprint(program).encode())
+    h.update(f"image={image_digest(program)}\n".encode())
     h.update(config_token(cfg).encode())
     h.update(f"\nscale={scale!r} seed={seed!r}".encode())
     return h.hexdigest()

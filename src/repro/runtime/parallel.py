@@ -4,6 +4,11 @@ The experiment grid is embarrassingly parallel across (kernel, config)
 points, so ``ParallelRunner`` fans simulation jobs out over a
 ``ProcessPoolExecutor``:
 
+* jobs are grouped into per-program batches — one submission per
+  (kernel, scale, seed) — so each worker builds and predecodes the
+  program once and runs every configuration against the shared
+  decode-once image (batches split when there are fewer program points
+  than workers);
 * ``jobs`` comes from the constructor, else ``REPRO_JOBS``, else
   ``os.cpu_count()``;
 * ``jobs == 1`` (or a single-job batch, or a platform without working
@@ -169,6 +174,29 @@ def default_retries() -> int:
     return 1
 
 
+#: per-process program memo: (kernel, scale, seed) -> built + predecoded
+#: Program.  Lives at module level so every job a worker executes for the
+#: same program point shares one build and one decode-once image; bounded
+#: so a long-lived worker sweeping many kernels cannot grow without limit.
+_PROGRAM_MEMO_CAP = 16
+_program_memo: Dict[Tuple[str, float, int], object] = {}
+
+
+def _memo_program(kernel: str, scale: float, seed: int):
+    """Build (or reuse) the program for one (kernel, scale, seed) point."""
+    key = (kernel, scale, seed)
+    prog = _program_memo.get(key)
+    if prog is None:
+        from ..isa.predecode import predecode
+        from ..workloads import build_program
+        prog = build_program(kernel, scale, seed)
+        predecode(prog)  # decode once; every config run shares the image
+        while len(_program_memo) >= _PROGRAM_MEMO_CAP:
+            _program_memo.pop(next(iter(_program_memo)))
+        _program_memo[key] = prog
+    return prog
+
+
 def _run_job(job: SimJob) -> Tuple[Optional[dict], Optional[dict],
                                    Optional[str]]:
     """Worker entry point: returns (stats dict, observer payload, error).
@@ -179,14 +207,52 @@ def _run_job(job: SimJob) -> Tuple[Optional[dict], Optional[dict],
     try:
         from .. import run_program
         from ..observe import make_observer
-        from ..workloads import build_program
-        prog = build_program(job.kernel, job.scale, job.seed)
+        prog = _memo_program(job.kernel, job.scale, job.seed)
         observer = make_observer(job.observe)
         stats = run_program(prog, job.resolved_cfg(), observer=observer)
         payload = None if observer is None else observer.export()
         return stats.to_dict(), payload, None
     except Exception:
         return None, None, traceback.format_exc()
+
+
+def _run_batch(batch: Sequence[SimJob]) -> List[Tuple[Optional[dict],
+                                                      Optional[dict],
+                                                      Optional[str]]]:
+    """Worker entry point for a per-program batch of jobs.
+
+    The scheduler groups jobs by (kernel, scale, seed) so one submission
+    builds and predecodes the program once and runs every configuration
+    against the shared image.  Failures stay per-job: one bad config in
+    a batch does not poison its siblings.  Dispatches through the
+    module-global ``_run_job`` so tests can monkeypatch it.
+    """
+    return [_run_job(job) for job in batch]
+
+
+def _batch_chunks(jobs: Sequence[SimJob],
+                  indexes: Sequence[int], n_workers: int) -> List[List[int]]:
+    """Partition job indexes into per-program submission chunks.
+
+    Jobs grouped by (kernel, scale, seed) share one program build per
+    chunk.  When there are fewer program points than workers, each group
+    is split so the pool still fills — a split costs one extra build,
+    idle workers cost the whole group's runtime.
+    """
+    groups: Dict[Tuple[str, float, int], List[int]] = {}
+    for i in indexes:
+        job = jobs[i]
+        groups.setdefault((job.kernel, job.scale, job.seed), []).append(i)
+    chunks = list(groups.values())
+    if 0 < len(chunks) < n_workers:
+        pieces = -(-n_workers // len(chunks))  # ceil: splits per group
+        split: List[List[int]] = []
+        for group in chunks:
+            size = -(-len(group) // pieces)
+            split.extend(group[k:k + size]
+                         for k in range(0, len(group), size))
+        chunks = split
+    return chunks
 
 
 def _pool_context():
@@ -231,10 +297,13 @@ def _run_pool_pass(jobs: Sequence[SimJob], indexes: Sequence[int],
     directly into ``results``.
     """
     transient: List[int] = []
+    chunks = _batch_chunks(jobs, indexes, n_workers)
     try:
-        with ProcessPoolExecutor(max_workers=min(n_workers, len(indexes)),
+        with ProcessPoolExecutor(max_workers=min(n_workers, len(chunks)),
                                  mp_context=_pool_context()) as pool:
-            futures = {pool.submit(_run_job, jobs[i]): i for i in indexes}
+            futures = {
+                pool.submit(_run_batch, [jobs[i] for i in chunk]): chunk
+                for chunk in chunks}
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, timeout=timeout,
@@ -243,26 +312,27 @@ def _run_pool_pass(jobs: Sequence[SimJob], indexes: Sequence[int],
                     # Stall: nothing completed inside the watchdog window.
                     for f in pending:
                         f.cancel()
-                        i = futures[f]
-                        results[i] = _Failure(
-                            "timeout", f"no worker progress for "
-                                       f"{timeout:g}s (declared hung)")
-                        transient.append(i)
+                        for i in futures[f]:
+                            results[i] = _Failure(
+                                "timeout", f"no worker progress for "
+                                           f"{timeout:g}s (declared hung)")
+                            transient.append(i)
                     _terminate_workers(pool)
                     pool.shutdown(wait=False, cancel_futures=True)
                     break
                 for f in done:
-                    i = futures[f]
+                    chunk = futures[f]
                     exc = f.exception()
                     if exc is not None:
                         # Executor-level breakage (e.g. a worker died);
-                        # the job itself may be fine — retry it.
-                        results[i] = _Failure("pool", repr(exc))
-                        transient.append(i)
+                        # the jobs themselves may be fine — retry them.
+                        for i in chunk:
+                            results[i] = _Failure("pool", repr(exc))
+                            transient.append(i)
                         continue
-                    stats, payload, err = f.result()
-                    results[i] = _Failure("worker", err) \
-                        if err is not None else (stats, payload)
+                    for i, (stats, payload, err) in zip(chunk, f.result()):
+                        results[i] = _Failure("worker", err) \
+                            if err is not None else (stats, payload)
     except (OSError, ImportError):  # no usable multiprocessing
         _run_serial(jobs, indexes, results)
         return []
@@ -392,7 +462,7 @@ class ParallelRunner:
         #: FailedResult placeholders collected under ``keep_going``
         self.failures: List[FailedResult] = []
         self._memo: Dict[tuple, SimStats] = {}
-        self._programs: Dict[str, object] = {}
+        self._programs: Dict[tuple, object] = {}
         self._disk_keys: Dict[tuple, str] = {}
         self.memo_hits = 0
         self.disk_hits = 0
@@ -400,11 +470,20 @@ class ParallelRunner:
 
     # -- programs --------------------------------------------------------
     def program(self, name: str):
-        prog = self._programs.get(name)
+        """Build (once) the kernel at this runner's scale and seed.
+
+        Memoised on (name, scale, seed) — the full identity of a built
+        program — so cache-key fingerprinting, in-process simulation and
+        reporting all share one build and one predecoded image.
+        """
+        key = (name, self.scale, self.seed)
+        prog = self._programs.get(key)
         if prog is None:
+            from ..isa.predecode import predecode
             from ..workloads import build_program
-            prog = self._programs[name] = build_program(name, self.scale,
-                                                        self.seed)
+            prog = build_program(name, self.scale, self.seed)
+            predecode(prog)
+            self._programs[key] = prog
         return prog
 
     def _key(self, name: str, cfg: ProcessorConfig) -> str:

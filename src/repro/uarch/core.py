@@ -14,6 +14,7 @@ commit → writeback → issue → dispatch → fetch → mechanism hooks.
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
@@ -21,12 +22,19 @@ from ..isa import (
     MASK64,
     FUClass,
     FU_LATENCY,
-    Instruction,
     NUM_LOGICAL_REGS,
-    Op,
     Program,
 )
 from ..isa.instructions import K_ALU, K_BRANCH, K_JUMP, K_LOAD, K_STORE
+from ..isa.predecode import (
+    F_COND_BRANCH,
+    F_HALT,
+    F_LOAD,
+    F_MEM,
+    F_STORE,
+    F_WRITES_REG,
+    predecode,
+)
 from ..observe.base import NullObserver, Observer
 from .bpred import make_predictor
 from .caches import MemoryHierarchy
@@ -96,14 +104,35 @@ class PortState:
         return True
 
 
+def _skip_ahead_default() -> bool:
+    """Idle-cycle skip-ahead is on unless ``REPRO_SKIP=0`` disables it."""
+    return os.environ.get("REPRO_SKIP", "1").lower() not in ("0", "off", "no")
+
+
 class Core:
-    """One simulated processor running one program."""
+    """One simulated processor running one program.
+
+    ``skip_ahead`` controls idle-cycle skip-ahead (DESIGN.md §9): when no
+    stage can provably make progress the clock advances straight to the
+    next cycle at which any event is possible.  Skipping is exact — all
+    per-cycle statistics bookkeeping is replayed over the span, and with
+    an observer attached the span is force-ticked cycle by cycle so CPI
+    stacks, pipeview traces and the invariant checker see every cycle.
+    ``None`` (the default) resolves from the environment
+    (``REPRO_SKIP=0`` disables); tests force it both ways to assert
+    byte-identical results.
+    """
 
     def __init__(self, cfg: ProcessorConfig, program: Program,
                  hooks: Optional[MechanismHooks] = None,
-                 observer: Optional[Observer] = None):
+                 observer: Optional[Observer] = None,
+                 skip_ahead: Optional[bool] = None):
         self.cfg = cfg
         self.program = program
+        #: shared decode-once image (see repro.isa.predecode)
+        self.image = predecode(program)
+        self.skip_ahead = (_skip_ahead_default() if skip_ahead is None
+                           else skip_ahead)
         self.stats = SimStats()
         self.bpred = make_predictor(cfg.bpred_kind, cfg.gshare_bits)
         self.fetch = FetchUnit(cfg, program, self.bpred)
@@ -162,8 +191,17 @@ class Core:
         ports = self._ports
         freelist = self.freelist
         obs = self._obs
-        max_cycles = self.cfg.max_cycles
+        window = self.window
+        completion = self.completion
+        ready = self.ready
+        cfg = self.cfg
+        max_cycles = cfg.max_cycles
+        window_size = cfg.window_size
+        lsq_size = cfg.lsq_size
+        fetch_queue_size = cfg.fetch_queue_size
+        flags_a = self.image.flags
         interval = stats.interval_cycles
+        skipping = self.skip_ahead
         while not self.halted:
             cycle = self.cycle = self.cycle + 1
             stats.cycles = cycle
@@ -184,13 +222,99 @@ class Core:
             self._dispatch()
             stats.fetched += fetch.fetch_cycle(cycle)
             hooks.on_cycle(leftover, ports)
-            stats.record_reg_usage(freelist.in_use)
+            in_use = freelist.in_use
+            stats.record_reg_usage(in_use)
             if cycle % interval == 0:
                 stats.record_interval()
             if obs is not None:
                 obs.on_cycle_end(self)
-            if (not self.window and fetch.empty and not self.completion):
+            if (not window and fetch.empty and not completion):
                 break  # fell off the end of the program
+            # ----------------------------------------------------------
+            # Idle-cycle skip-ahead (DESIGN.md §9): when every stage is
+            # provably stalled until a known future cycle, advance the
+            # clock to just before that cycle instead of ticking through
+            # the span.  Every guard below is conservative — any state
+            # that *could* act next cycle vetoes the skip.
+            # ----------------------------------------------------------
+            if not skipping or ready:
+                continue  # an issuable instruction: next cycle acts
+            # Next-event candidates; the watchdog horizon bounds the skip
+            # so a genuine deadlock still trips at the same cycle.
+            nxt = self._last_progress_cycle + 20_001
+            if cycle + 1 >= nxt:
+                continue
+            if window:
+                head = window[0]
+                if head.done:
+                    continue  # commits next cycle
+                if head.validated:
+                    cra = head.commit_ready_at
+                    if cra <= cycle:
+                        continue  # commit-ready (or unknown): no skip
+                    if cra < nxt:
+                        nxt = cra
+            if completion and completion[0][0] < nxt:
+                nxt = completion[0][0]
+            queue = fetch.queue
+            if queue:
+                head_ready = queue[0][0]
+                if head_ready > cycle:
+                    if head_ready < nxt:
+                        nxt = head_ready  # decode depth: ready later
+                elif not (len(window) >= window_size
+                          or (flags_a[queue[0][1].pc] & F_MEM
+                              and self.lsq_count >= lsq_size)):
+                    # Dispatch could act (or charge a rename stall) next
+                    # cycle; only window-full / LSQ-full blockage — which
+                    # drains via commit, covered by the candidates above —
+                    # is safely skippable.
+                    continue
+            redirect_at = fetch._redirect_at
+            if redirect_at is not None:
+                if redirect_at < nxt:
+                    nxt = redirect_at
+            elif not fetch.stalled and len(queue) < fetch_queue_size:
+                continue  # the front end fetches next cycle
+            mech = hooks.next_event_cycle()
+            if mech is not None:
+                if mech <= cycle:
+                    continue  # mechanism vetoes (per-cycle work pending)
+                if mech < nxt:
+                    nxt = mech
+            if max_cycles < nxt:
+                nxt = max_cycles + 1
+            span_end = nxt - 1
+            if span_end <= cycle:
+                continue
+            span = span_end - cycle
+            stats.skipped_cycles += span
+            if obs is None:
+                # Batch the per-cycle bookkeeping over the whole span:
+                # register-pressure samples and interval marks see state
+                # frozen exactly as every skipped cycle would have.
+                stats.regs_in_use_samples += span
+                stats.regs_in_use_sum += span * in_use
+                marks = span_end // interval - cycle // interval
+                if marks:
+                    stats.interval_committed.extend(
+                        [stats.committed] * marks)
+                self.cycle = span_end
+                stats.cycles = span_end
+            else:
+                # Observed run: force-tick the span so per-cycle
+                # observers (CPI stack, pipeview, invariant checker) see
+                # every cycle with exact state.  No stage can act, so
+                # only the clock and the bookkeeping advance.
+                c = cycle
+                while c < span_end:
+                    c += 1
+                    self.cycle = c
+                    stats.cycles = c
+                    stats.record_reg_usage(in_use)
+                    if c % interval == 0:
+                        stats.record_interval()
+                    obs.on_cycle_end(self)
         self.stats.stridedpc_assignments = self.rename.assign_count
         self.stats.stridedpc_sum = self.rename.assign_sum
         self.stats.stridedpc_overflow = self.rename.overflow_count
@@ -204,6 +328,7 @@ class Core:
     def _commit(self, ports: PortState) -> None:
         cfg = self.cfg
         obs = self._obs
+        flags_a = self.image.flags
         slots = cfg.commit_width
         stores_this_cycle = 0
         while slots > 0 and self.window:
@@ -211,8 +336,8 @@ class Core:
             if not inst.done and not (
                     inst.validated and 0 <= inst.commit_ready_at <= self.cycle):
                 break
-            instr = inst.instr
-            if instr.is_store:
+            flags = flags_a[inst.pc]
+            if flags & F_STORE:
                 # The coherence check (Section 2.4.3) taxes store commit
                 # only when replicas exist to check against.
                 has_replicas = self.hooks.has_replicas
@@ -237,12 +362,12 @@ class Core:
             self._last_progress_cycle = self.cycle
             if inst.validated:
                 self.stats.committed_reused += 1
-            if instr.writes_reg:
+            if flags & F_WRITES_REG:
                 self.freelist.release(1)
-                self.rename.clear_owner_if(instr.rd, inst)
-            if instr.is_mem:
+                self.rename.clear_owner_if(self.image.rd[inst.pc], inst)
+            if flags & F_MEM:
                 self.lsq_count -= 1
-            if instr.is_store:
+            if flags & F_STORE:
                 self.stats.stores_committed += 1
                 self.hierarchy.store_access(inst.eff_addr)
                 self._store_map_remove(inst)
@@ -252,14 +377,14 @@ class Core:
                     self._recover(inst, inst.pc + 1, is_branch=False)
                     self.hooks.on_commit(inst)
                     return
-            if instr.is_cond_branch:
+            if flags & F_COND_BRANCH:
                 self.stats.cond_branches += 1
                 if inst.mispredicted:
                     self.stats.mispredicts += 1
                     if inst.hard_branch:
                         self.stats.mispredicts_hard += 1
             self.hooks.on_commit(inst)
-            if instr.is_halt:
+            if flags & F_HALT:
                 self.halted = True
                 return
 
@@ -269,6 +394,7 @@ class Core:
     def _writeback(self) -> None:
         comp = self.completion
         obs = self._obs
+        flags_a = self.image.flags
         while comp and comp[0][0] <= self.cycle:
             _, _, inst = heapq.heappop(comp)
             if inst.squashed or inst.done:
@@ -282,7 +408,7 @@ class Core:
                         and not c.in_ready):
                     c.in_ready = True
                     heapq.heappush(self.ready, (c.seq, c))
-            if inst.instr.is_cond_branch:
+            if flags_a[inst.pc] & F_COND_BRANCH:
                 self.bpred.train(inst.pc, inst.bp_history, inst.actual_taken)
                 self.hooks.on_branch_resolved(inst)
                 if inst.mispredicted and not inst.squashed:
@@ -310,17 +436,17 @@ class Core:
         self.stats.squashed += 1
         if self._obs is not None:
             self._obs.on_squash(inst, self.cycle)
-        instr = inst.instr
-        if instr.is_store:
+        flags = self.image.flags[inst.pc]
+        if flags & F_STORE:
             if inst.mem_old is MEM_ABSENT:
                 self.mem.pop(inst.eff_addr, None)
             else:
                 self.mem[inst.eff_addr] = inst.mem_old
             self._store_map_remove(inst)
-        if instr.is_mem:
+        if flags & F_MEM:
             self.lsq_count -= 1
-        if instr.writes_reg:
-            self.sregs[instr.rd] = inst.sreg_old
+        if flags & F_WRITES_REG:
+            self.sregs[self.image.rd[inst.pc]] = inst.sreg_old
             self.rename.restore_reg(inst.rename_undo)
             if inst.reg_allocated:
                 self.freelist.release(1)
@@ -343,14 +469,16 @@ class Core:
         deferred: List[tuple] = []
         cfg = self.cfg
         obs = self._obs
+        flags_a = self.image.flags
+        fu_a = self.image.fu_class
         while issued < cfg.issue_width and self.ready:
             seq, inst = heapq.heappop(self.ready)
             inst.in_ready = False
             if inst.squashed or inst.issued:
                 continue
-            instr = inst.instr
-            fu = instr.fu_class
-            if instr.is_load and inst.forward_store is None:
+            is_load = flags_a[inst.pc] & F_LOAD
+            fu = fu_a[inst.pc]
+            if is_load and inst.forward_store is None:
                 line = self.hierarchy.line_of(inst.eff_addr)
                 if not ports.can_load(line) or self.fu.available(FUClass.MEM) <= 0:
                     deferred.append((seq, inst))
@@ -364,7 +492,7 @@ class Core:
                 if not self.fu.acquire(fu):
                     deferred.append((seq, inst))
                     continue
-                if instr.is_load:  # forwarded from an in-flight store
+                if is_load:  # forwarded from an in-flight store
                     self.stats.store_forwards += 1
                     lat = 1
                 else:
@@ -381,16 +509,45 @@ class Core:
         return cfg.issue_width - issued
 
     # ------------------------------------------------------------------
-    # Dispatch: rename + functional execution.
+    # Dispatch: rename + functional execution, fused over the predecoded
+    # image.  One pass per instruction reads the flat arrays instead of
+    # chasing ``Instruction`` attributes (the pre-fusion split into
+    # ``_execute_functional`` / ``_rename_and_schedule`` cost two extra
+    # calls and repeated attribute loads per dynamic instruction on the
+    # hottest path in the simulator).
     # ------------------------------------------------------------------
     def _dispatch(self) -> None:
-        cfg = self.cfg
         if not self.hooks.dispatch_gate():
             return
-        window = self.window
         queue = self.fetch.queue
         cycle = self.cycle
+        if not queue or queue[0][0] > cycle:
+            return
+        cfg = self.cfg
+        window = self.window
         obs = self._obs
+        hooks = self.hooks
+        stats = self.stats
+        freelist = self.freelist
+        rename = self.rename
+        owner_a = rename.owner
+        sregs = self.sregs
+        mem = self.mem
+        store_map = self.store_map
+        completion = self.completion
+        ready = self.ready
+        heappush = heapq.heappush
+        image = self.image
+        kind_a = image.kind
+        flags_a = image.flags
+        rd_a = image.rd
+        rs1_a = image.rs1
+        rs2_a = image.rs2
+        imm_a = image.imm
+        target_a = image.target
+        srcs_a = image.srcs
+        alu_a = image.alu_fn
+        branch_a = image.branch_fn
         window_size = cfg.window_size
         lsq_size = cfg.lsq_size
         for _ in range(cfg.issue_width):
@@ -398,20 +555,94 @@ class Core:
                 break
             if not queue or queue[0][0] > cycle:
                 break
-            instr = queue[0][1].instr
-            if instr.is_mem and self.lsq_count >= lsq_size:
+            inst = queue[0][1]
+            pc = inst.pc
+            flags = flags_a[pc]
+            if flags & F_MEM and self.lsq_count >= lsq_size:
                 break
-            if instr.writes_reg and not self.freelist.alloc(1):
-                self.stats.rename_stall_cycles += 1
+            writes = flags & F_WRITES_REG
+            if writes and not freelist.alloc(1):
+                stats.rename_stall_cycles += 1
                 break
-            inst = queue.popleft()[1]
-            if instr.writes_reg:
+            queue.popleft()
+            if writes:
                 inst.reg_allocated = True
-            self._execute_functional(inst)
-            self._rename_and_schedule(inst)
-            self.stats.dispatched += 1
+            # -- functional execution (sim-outorder style).  The or-zero
+            # register encoding is safe: evaluation callables ignore
+            # their unused operands (see repro.isa.predecode).
+            kind = kind_a[pc]
+            if kind == K_ALU:
+                rd = rd_a[pc]
+                inst.sreg_old = sregs[rd]
+                inst.result = result = alu_a[pc](
+                    sregs[rs1_a[pc]], sregs[rs2_a[pc]], imm_a[pc])
+                sregs[rd] = result
+            elif kind == K_LOAD:
+                addr = (sregs[rs1_a[pc]] + imm_a[pc]) & MASK64
+                inst.eff_addr = addr
+                rd = rd_a[pc]
+                inst.sreg_old = sregs[rd]
+                inst.result = result = mem.get(addr, 0)
+                sregs[rd] = result
+            elif kind == K_STORE:
+                addr = (sregs[rs1_a[pc]] + imm_a[pc]) & MASK64
+                inst.eff_addr = addr
+                inst.mem_old = mem.get(addr, MEM_ABSENT)
+                inst.result = result = sregs[rs2_a[pc]]
+                mem[addr] = result
+            elif kind == K_BRANCH:
+                taken = branch_a[pc](sregs[rs1_a[pc]], sregs[rs2_a[pc]])
+                inst.actual_taken = taken
+                inst.actual_next_pc = target_a[pc] if taken else pc + 1
+            elif kind == K_JUMP:
+                inst.actual_next_pc = target_a[pc]
+            # -- rename: source dependencies through the rename table.
+            num_pending = 0
+            for r in srcs_a[pc]:
+                owner = owner_a[r]
+                if owner is not None and not owner.done \
+                        and not owner.squashed:
+                    num_pending += 1
+                    owner.consumers.append(inst)
+            if flags & F_MEM:
+                # Memory dependence: forward from the youngest older
+                # in-flight store to the same address (perfect
+                # disambiguation, DESIGN.md §5).
+                if flags & F_LOAD:
+                    stores = store_map.get(inst.eff_addr)
+                    if stores:
+                        s = stores[-1]
+                        inst.forward_store = s
+                        if not s.done:
+                            num_pending += 1
+                            s.consumers.append(inst)
+                else:
+                    store_map.setdefault(inst.eff_addr, []).append(inst)
+                self.lsq_count += 1
+            if num_pending:
+                inst.num_pending = num_pending
+            # Destination rename, with default stridedPC propagation
+            # (ALU ops merge their sources'; the mechanism hook refines
+            # loads).
+            if writes:
+                rd = rd_a[pc]
+                srcs = srcs_a[pc]
+                spcs = rename.merge_strided(srcs) \
+                    if kind != K_LOAD and srcs else ()
+                inst.rename_undo = rename.snapshot_reg(rd)
+                rename.write(rd, inst, None, spcs)
+            inst.dispatch_cycle = cycle
+            # -- schedule (K_JUMP/K_NOP/K_HALT complete unconditionally).
+            if kind >= K_JUMP:
+                inst.issued = True
+                inst.done_cycle = cycle + 1
+                heappush(completion, (cycle + 1, inst.seq, inst))
+            elif num_pending == 0:
+                inst.in_ready = True
+                heappush(ready, (inst.seq, inst))
+            stats.dispatched += 1
             window.append(inst)
-            self.hooks.on_dispatch(inst)
+            hooks.on_dispatch(inst)
             if obs is not None:
                 obs.on_dispatch(inst, cycle)
             if inst.validated and not inst.issued:
@@ -419,91 +650,21 @@ class Core:
                 # commit immediately (validation goes straight there,
                 # Section 2.4.6); consumers wait for the copy out of the
                 # speculative data memory, charged as extra latency.
-                lat = 1 + self.hooks.validated_extra_latency(inst)
+                lat = 1 + hooks.validated_extra_latency(inst)
                 inst.issued = True
-                inst.commit_ready_at = self.cycle + 1
-                inst.done_cycle = self.cycle + lat
-                heapq.heappush(self.completion,
-                               (inst.done_cycle, inst.seq, inst))
+                inst.commit_ready_at = cycle + 1
+                inst.done_cycle = cycle + lat
+                heappush(completion, (inst.done_cycle, inst.seq, inst))
                 if obs is not None:
                     obs.on_issue(inst, cycle, lat)
-
-    def _execute_functional(self, inst: DynInst) -> None:
-        instr = inst.instr
-        kind = instr.kind
-        sregs = self.sregs
-        if kind == K_ALU:
-            a = sregs[instr.rs1] if instr.rs1 is not None else 0
-            b = sregs[instr.rs2] if instr.rs2 is not None else 0
-            inst.sreg_old = sregs[instr.rd]
-            inst.result = instr.alu_fn(a, b, instr.imm)
-            sregs[instr.rd] = inst.result
-        elif kind == K_LOAD:
-            addr = (sregs[instr.rs1] + instr.imm) & MASK64
-            inst.eff_addr = addr
-            inst.sreg_old = sregs[instr.rd]
-            inst.result = self.mem.get(addr, 0)
-            sregs[instr.rd] = inst.result
-        elif kind == K_STORE:
-            addr = (sregs[instr.rs1] + instr.imm) & MASK64
-            inst.eff_addr = addr
-            inst.mem_old = self.mem.get(addr, MEM_ABSENT)
-            inst.result = sregs[instr.rs2]
-            self.mem[addr] = inst.result
-        elif kind == K_BRANCH:
-            a = sregs[instr.rs1]
-            b = sregs[instr.rs2] if instr.rs2 is not None else 0
-            inst.actual_taken = instr.branch_fn(a, b)
-            inst.actual_next_pc = instr.target if inst.actual_taken else instr.pc + 1
-        elif kind == K_JUMP:
-            inst.actual_next_pc = instr.target
-
-    def _rename_and_schedule(self, inst: DynInst) -> None:
-        instr = inst.instr
-        # Source dependencies through the rename table.
-        for r in instr.srcs:
-            owner = self.rename.owner[r]
-            if owner is not None and not owner.done and not owner.squashed:
-                inst.num_pending += 1
-                owner.consumers.append(inst)
-        # Memory dependence: forward from the youngest older in-flight
-        # store to the same address (perfect disambiguation, DESIGN.md §5).
-        if instr.is_load:
-            stores = self.store_map.get(inst.eff_addr)
-            if stores:
-                s = stores[-1]
-                inst.forward_store = s
-                if not s.done:
-                    inst.num_pending += 1
-                    s.consumers.append(inst)
-        elif instr.is_store:
-            self.store_map.setdefault(inst.eff_addr, []).append(inst)
-        if instr.is_mem:
-            self.lsq_count += 1
-        # Destination rename, with default stridedPC propagation (ALU ops
-        # merge their sources'; the mechanism hook refines loads).
-        if instr.writes_reg:
-            spcs = ()
-            if not instr.is_load and instr.srcs:
-                spcs = self.rename.merge_strided(instr.srcs)
-            inst.rename_undo = self.rename.snapshot_reg(instr.rd)
-            self.rename.write(instr.rd, inst, None, spcs)
-        inst.dispatch_cycle = self.cycle
-        # Schedule.
-        op = instr.op
-        if op is Op.NOP or op is Op.HALT or instr.kind == K_JUMP:
-            inst.issued = True
-            inst.done_cycle = self.cycle + 1
-            heapq.heappush(self.completion, (inst.done_cycle, inst.seq, inst))
-        elif inst.num_pending == 0:
-            inst.in_ready = True
-            heapq.heappush(self.ready, (inst.seq, inst))
 
 
 def simulate(program: Program, cfg: Optional[ProcessorConfig] = None,
              hooks: Optional[MechanismHooks] = None,
              max_instructions: Optional[int] = None,
-             observer: Optional[Observer] = None) -> SimStats:
+             observer: Optional[Observer] = None,
+             skip_ahead: Optional[bool] = None) -> SimStats:
     """Convenience wrapper: build a core, run it, return the statistics."""
-    core = Core(cfg or ProcessorConfig(), program, hooks, observer=observer)
+    core = Core(cfg or ProcessorConfig(), program, hooks, observer=observer,
+                skip_ahead=skip_ahead)
     return core.run(max_instructions=max_instructions)

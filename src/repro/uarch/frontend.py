@@ -6,6 +6,13 @@ from collections import deque
 from typing import Deque, Optional, Tuple
 
 from ..isa import Program
+from ..isa.predecode import (
+    CTRL_COND_BWD,
+    CTRL_HALT,
+    CTRL_JUMP,
+    CTRL_SEQ,
+    predecode,
+)
 from .bpred import Gshare
 from .config import ProcessorConfig
 from .rob import DynInst
@@ -22,6 +29,8 @@ class FetchUnit:
     def __init__(self, cfg: ProcessorConfig, program: Program, bpred: Gshare):
         self.cfg = cfg
         self.program = program
+        #: shared decode-once image (fetch reads control class + target)
+        self.image = predecode(program)
         self.bpred = bpred
         # Hoisted config scalars (read every fetch cycle).
         self._fetch_width = cfg.fetch_width
@@ -71,9 +80,13 @@ class FetchUnit:
             self.stalled = False
         if self.stalled:
             return 0
+        image = self.image
         code = self.program.code
-        ncode = len(code)
+        ctrl_a = image.ctrl
+        target_a = image.target
+        ncode = image.n
         queue = self.queue
+        queue_append = queue.append
         bpred = self.bpred
         obs = self.observer
         pc = self.pc
@@ -86,29 +99,30 @@ class FetchUnit:
             if not 0 <= pc < ncode:
                 self.stalled = True
                 break
-            instr = code[pc]
-            di = DynInst(seq, instr)
+            di = DynInst(seq, code[pc])
             seq += 1
             next_pc = pc + 1
-            if instr.is_cond_branch:
-                di.bp_history = bpred.checkpoint()
-                di.pred_taken = bpred.predict(
-                    pc, backward=instr.is_backward_branch)
-                bpred.speculate(di.pred_taken)
-                if di.pred_taken:
-                    next_pc = instr.target
+            ctrl = ctrl_a[pc]
+            if ctrl != CTRL_SEQ:
+                if ctrl <= CTRL_COND_BWD:     # conditional branch
+                    di.bp_history = bpred.checkpoint()
+                    di.pred_taken = bpred.predict(
+                        pc, backward=ctrl == CTRL_COND_BWD)
+                    bpred.speculate(di.pred_taken)
+                    if di.pred_taken:
+                        next_pc = target_a[pc]
+                        taken_seen += 1
+                    di.pred_next_pc = next_pc
+                elif ctrl == CTRL_JUMP:
+                    next_pc = target_a[pc]
+                    di.pred_next_pc = next_pc
                     taken_seen += 1
-                di.pred_next_pc = next_pc
-            elif instr.is_jump:
-                next_pc = instr.target
-                di.pred_next_pc = next_pc
-                taken_seen += 1
-            queue.append((ready_at, di))
+            queue_append((ready_at, di))
             if obs is not None:
                 obs.on_fetch(di, cycle)
             fetched += 1
             pc = next_pc
-            if instr.is_halt:
+            if ctrl == CTRL_HALT:
                 self.stalled = True
                 break
             if taken_seen >= self._max_taken:

@@ -81,6 +81,24 @@ class MechanismHooks:
         vector instruction waiting for registers, as in [12])."""
         return True
 
+    def next_event_cycle(self) -> "int | None":
+        """Skip-ahead contract (``Core.run`` idle-cycle skip, DESIGN §9).
+
+        Called when every core stage is provably stalled.  Return:
+
+        * ``None`` — the mechanism is quiescent: it is guaranteed to do
+          no observable per-cycle work until some core event (dispatch,
+          writeback, recovery) re-activates it;
+        * a future cycle number — the mechanism's next scheduled event
+          (e.g. an in-flight replica completion); the core will not skip
+          past it;
+        * any value ``<=`` the current cycle — veto: the mechanism has
+          (or may have) per-cycle work pending, tick normally.
+
+        The no-op base mechanism never has per-cycle work.
+        """
+        return None
+
     def validated_extra_latency(self, inst: "DynInst") -> int:
         """Extra cycles before a validated instruction's value is usable
         (the speculative-data-memory copy path)."""

@@ -11,10 +11,16 @@ MEM_ABSENT = object()
 
 
 class DynInst:
-    """One in-flight dynamic instruction.
+    """One in-flight dynamic instruction: a cursor over the static image.
 
     Functional results are computed at dispatch (sim-outorder style); the
     timing fields decide when they become architecturally visible.
+
+    All static per-instruction facts live in the shared
+    :class:`~repro.isa.predecode.ProgramImage` (indexed by ``pc``); a
+    ``DynInst`` carries only its dynamic state.  ``__slots__`` keeps
+    attribute access on the fast path — the core reads these fields many
+    times per dynamic instruction, wrong paths included.
     """
 
     __slots__ = (

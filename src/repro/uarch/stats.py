@@ -70,6 +70,12 @@ class SimStats:
     interval_cycles: int = 256
     interval_committed: list = field(default_factory=list)
 
+    #: cycles the core advanced without ticking because every stage was
+    #: provably stalled (idle-cycle skip-ahead, DESIGN §9); purely a
+    #: simulator-efficiency diagnostic — identical runs with skip-ahead
+    #: disabled produce the same ``cycles`` with ``skipped_cycles == 0``
+    skipped_cycles: int = 0
+
     def record_interval(self) -> None:
         self.interval_committed.append(self.committed)
 
@@ -129,7 +135,8 @@ class SimStats:
         derived series); use ``to_dict`` for the lossless form.
         """
         d = {k: v for k, v in self.__dict__.items()
-             if k not in ("interval_committed", "interval_cycles")}
+             if k not in ("interval_committed", "interval_cycles",
+                          "skipped_cycles")}
         d["ipc"] = self.ipc
         d["mispredict_rate"] = self.mispredict_rate
         d["avg_regs_in_use"] = self.avg_regs_in_use
