@@ -13,6 +13,9 @@ Commands
 ``faults``   fault-injection sweep: seeded mechanism faults across the
              suite, each run held to the invariant checker + state oracle
 ``cache``    inspect, verify or clear the persistent simulation-result cache
+``serve``    run the simulation service daemon (async HTTP/JSON front end
+             over one persistent runner pool; see DESIGN.md §10)
+``submit``   submit kernels to a running daemon and stream status lines
 ``profile``  cProfile one kernel simulation (hot-loop work)
 ``pipeview`` per-instruction pipeline trace (text / Konata / JSONL)
 ``why``      CPI stack + CI-mechanism audit: why cycles are spent and
@@ -32,7 +35,9 @@ They also accept the resilience knobs (DESIGN.md §8): ``--keep-going``
 (or ``REPRO_KEEP_GOING=1``) degrades job failures into explicit table
 holes and a nonzero exit instead of aborting the sweep; ``--timeout``
 (``REPRO_TIMEOUT``) arms the stall watchdog; ``--retries``
-(``REPRO_RETRIES``) bounds transient-failure retries.  ``run`` takes
+(``REPRO_RETRIES``) bounds transient-failure retries; ``--server ADDR``
+runs the sweep as a thin client of a ``repro serve`` daemon (stdout
+stays byte-identical to a local run).  ``run`` takes
 ``--faults SPEC`` / ``--check`` (``REPRO_FAULTS`` / ``REPRO_CHECK``) to
 inject mechanism faults and arm the invariant checker + state oracle.
 """
@@ -112,6 +117,24 @@ def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument("--retries", type=int, default=None, metavar="N",
                    help="retries for transient job failures — timeouts, "
                         "pool breakage (default: REPRO_RETRIES or 1)")
+    p.add_argument("--server", default=None, metavar="ADDR",
+                   help="run on a 'repro serve' daemon at host[:port] "
+                        "instead of a local pool (--jobs/--timeout/"
+                        "--retries then apply daemon-side)")
+
+
+def _make_runner(args: argparse.Namespace, scale=None, seed=None):
+    """The sweep runner: local pool, or a thin client of ``--server``."""
+    if getattr(args, "server", None):
+        import os
+        from .serve.client import RemoteRunner
+        return RemoteRunner(args.server, scale=scale, seed=seed,
+                            keep_going=args.keep_going,
+                            client_name=f"cli-{os.getpid()}")
+    from .experiments.common import Runner
+    return Runner(scale=scale, seed=seed, jobs=args.jobs,
+                  keep_going=args.keep_going, timeout=args.timeout,
+                  retries=args.retries)
 
 
 def _finish_sweep(runner) -> int:
@@ -222,13 +245,9 @@ def cmd_why(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_suite(args: argparse.Namespace) -> int:
-    from .experiments.common import Runner
-    cfg = make_config(args)
-    runner = Runner(scale=args.scale, seed=args.seed, jobs=args.jobs,
-                    keep_going=args.keep_going, timeout=args.timeout,
-                    retries=args.retries)
-    stats = runner.run_suite(cfg)
+def _suite_table(stats, runner, cfg, args: argparse.Namespace) -> str:
+    """The suite results table (shared by ``suite`` and ``submit`` so a
+    served sweep prints byte-identical stdout to a local one)."""
     rows = []
     ipcs = []
     for name, st in stats.items():
@@ -243,9 +262,16 @@ def cmd_suite(args: argparse.Namespace) -> int:
     rows.append(["INT(hmean)", hmean,
                  "" if not runner.failures else "(partial)", "", ""])
     label = cfg.ci_policy if cfg.ci_policy is not None else args.scheme
-    print(format_table(
+    return format_table(
         f"suite under {label} ({args.regs} regs, {args.ports} port(s))",
-        ["kernel", "IPC", "mispred", "reuse", "cycles"], rows))
+        ["kernel", "IPC", "mispred", "reuse", "cycles"], rows)
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    cfg = make_config(args)
+    runner = _make_runner(args, scale=args.scale, seed=args.seed)
+    stats = runner.run_suite(cfg)
+    print(_suite_table(stats, runner, cfg, args))
     return _finish_sweep(runner)
 
 
@@ -253,9 +279,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
     import os
     os.environ["REPRO_SCALE"] = str(args.scale)
     from .experiments import ALL_EXPERIMENTS, generate_report
-    from .experiments.common import Runner
-    runner = Runner(jobs=args.jobs, keep_going=args.keep_going,
-                    timeout=args.timeout, retries=args.retries)
+    runner = _make_runner(args)
     if args.name == "all":
         print(generate_report(runner))
         return _finish_sweep(runner)
@@ -273,13 +297,11 @@ def cmd_ablation(args: argparse.Namespace) -> int:
     import os
     os.environ["REPRO_SCALE"] = str(args.scale)
     from .experiments import ALL_ABLATIONS
-    from .experiments.common import Runner
     if args.name not in ALL_ABLATIONS:
         print(f"unknown ablation {args.name!r}; known: "
               f"{', '.join(sorted(ALL_ABLATIONS))}", file=sys.stderr)
         return 2
-    runner = Runner(jobs=args.jobs, keep_going=args.keep_going,
-                    timeout=args.timeout, retries=args.retries)
+    runner = _make_runner(args)
     print(ALL_ABLATIONS[args.name](runner).render())
     return _finish_sweep(runner)
 
@@ -295,6 +317,9 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"entries    : {info['entries']}")
         print(f"size       : {info['bytes'] / 1024:.1f} KiB")
         print(f"quarantined: {info['quarantined']}")
+        print(f"hits       : {info['hits']}")
+        print(f"misses     : {info['misses']}")
+        print(f"coalesced  : {info['coalesced']}")
     elif args.action == "verify":
         report = cache.verify()
         print(f"cache root : {report['root']}")
@@ -309,6 +334,40 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
               f"from {cache.root}")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.server import serve_main
+    return serve_main(host=args.host, port=args.port, jobs=args.jobs,
+                      queue_depth=args.queue_depth, timeout=args.timeout,
+                      retries=args.retries)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .serve.client import RemoteRunner
+    cfg = make_config(args)
+    kernels = kernel_names() if args.kernels in ([], ["suite"]) \
+        else args.kernels
+    unknown = [k for k in kernels if k not in kernel_names()]
+    if unknown:
+        print(f"unknown kernel(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    def on_update(job_id, status):
+        if not args.quiet:
+            print(f"  {status.kernel:9s} {status.state}"
+                  f"{' [' + status.source + ']' if status.source else ''}"
+                  f"  ({job_id})", file=sys.stderr)
+
+    import os
+    client_name = args.client or f"submit-{os.getpid()}"
+    runner = RemoteRunner(args.server, scale=args.scale, seed=args.seed,
+                          priority=args.priority, client_name=client_name,
+                          keep_going=True, on_update=on_update)
+    stats = dict(zip(kernels,
+                     runner.run_many([(k, cfg) for k in kernels])))
+    print(_suite_table(stats, runner, cfg, args))
+    return _finish_sweep(runner)
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
@@ -505,6 +564,45 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("action", choices=("info", "verify", "clear"))
     pc.set_defaults(fn=cmd_cache)
 
+    from .serve.protocol import DEFAULT_PORT
+    psv = sub.add_parser(
+        "serve", help="run the simulation service daemon")
+    psv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: 127.0.0.1)")
+    psv.add_argument("--port", type=int, default=DEFAULT_PORT,
+                     help=f"TCP port (default: {DEFAULT_PORT}; 0 = any)")
+    psv.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="worker processes (default: REPRO_JOBS or the "
+                          "machine's usable core count)")
+    psv.add_argument("--queue-depth", type=int, default=256, metavar="N",
+                     help="admission limit before backpressure "
+                          "(default: 256)")
+    psv.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                     help="per-batch stall watchdog (default: "
+                          "REPRO_TIMEOUT)")
+    psv.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="transient-failure retries (default: "
+                          "REPRO_RETRIES or 1)")
+    psv.set_defaults(fn=cmd_serve)
+
+    psm = sub.add_parser(
+        "submit", help="submit kernels to a running daemon")
+    psm.add_argument("kernels", nargs="*", metavar="KERNEL",
+                     help="kernels to run (default: the whole suite; "
+                          "'suite' is an explicit alias)")
+    _add_machine_args(psm)
+    psm.add_argument("--server", default=f"127.0.0.1:{DEFAULT_PORT}",
+                     metavar="ADDR", help="daemon address host[:port] "
+                     f"(default: 127.0.0.1:{DEFAULT_PORT})")
+    psm.add_argument("--priority", choices=("interactive", "sweep"),
+                     default="interactive",
+                     help="admission class (default: interactive)")
+    psm.add_argument("--client", default=None, metavar="NAME",
+                     help="fairness-lane name (default: submit-<pid>)")
+    psm.add_argument("--quiet", "-q", action="store_true",
+                     help="suppress the per-job status stream on stderr")
+    psm.set_defaults(fn=cmd_submit)
+
     pfa = sub.add_parser(
         "faults",
         help="seeded fault-injection sweep with invariant + oracle checks")
@@ -545,7 +643,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    from .runtime import WorkerError
+    try:
+        return args.fn(args)
+    except WorkerError as exc:
+        # Sweep-level failure: the aggregated report, not a traceback.
+        # A SIGINT drain exits 130 like any interrupted Unix process.
+        print(f"error: {exc}", file=sys.stderr)
+        return 130 if exc.interrupted else 1
+    except Exception as exc:
+        from .serve.client import ServeError
+        if isinstance(exc, ServeError):
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

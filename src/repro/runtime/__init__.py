@@ -40,6 +40,7 @@ from .parallel import (
     default_timeout,
     execute_jobs,
     execute_jobs_observed,
+    pool_restart_count,
 )
 from .profiling import profile_kernel
 
@@ -61,6 +62,7 @@ __all__ = [
     "execute_jobs",
     "execute_jobs_observed",
     "job_key",
+    "pool_restart_count",
     "profile_kernel",
     "program_fingerprint",
 ]

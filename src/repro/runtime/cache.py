@@ -26,6 +26,12 @@ a plain miss — valid data from another version, not corruption.
 ``repro cache verify`` (:meth:`ResultCache.verify`) audits the whole
 store on demand.
 
+Accounting: each instance tallies hits, misses and (for the serving
+layer) coalesced requests in memory; :meth:`ResultCache.flush_counters`
+merges them into ``<root>/counters.json`` so ``repro cache info`` can
+report lifetime effectiveness across processes.  The counters are
+best-effort operational numbers — results never depend on them.
+
 Environment knobs:
 
 * ``REPRO_CACHE_DIR`` — cache root (default ``$XDG_CACHE_HOME/repro-sim``
@@ -54,6 +60,13 @@ CACHE_SCHEMA = 2
 
 #: subdirectory (under the cache root) where corrupt entries are parked
 QUARANTINE_DIR = "quarantine"
+
+#: file (directly under the cache root) holding the lifetime hit/miss/
+#: coalesce tallies; excluded from entry walks by name
+COUNTERS_FILE = "counters.json"
+
+#: the counter names persisted in ``COUNTERS_FILE``
+COUNTER_KEYS = ("hits", "misses", "coalesced")
 
 
 def default_cache_dir() -> str:
@@ -159,6 +172,10 @@ class ResultCache:
         self.enabled = cache_enabled() if enabled is None else enabled
         #: entries moved aside by this instance (key paths, for reporting)
         self.quarantined: List[str] = []
+        #: in-memory tallies since the last :meth:`flush_counters`
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
@@ -188,19 +205,25 @@ class ResultCache:
             with open(path) as fh:
                 text = fh.read()
         except OSError:
+            self.misses += 1
             return None
         try:
             stats = _decode_entry(text)
         except CacheEntryError as exc:
             self._quarantine(path, str(exc))
+            self.misses += 1
             return None
         if stats is None:
+            self.misses += 1
             return None
         try:
-            return SimStats.from_dict(stats)
+            result = SimStats.from_dict(stats)
         except (ValueError, TypeError, KeyError):
             self._quarantine(path, "stats payload does not deserialise")
+            self.misses += 1
             return None
+        self.hits += 1
+        return result
 
     def put(self, key: str, stats: SimStats) -> None:
         """Store ``stats`` under ``key`` (write-to-temp + atomic rename)."""
@@ -225,13 +248,62 @@ class ResultCache:
         except OSError:
             pass  # a read-only or full cache never fails the simulation
 
+    # -- accounting ------------------------------------------------------
+    def note_coalesced(self, n: int = 1) -> None:
+        """Record ``n`` coalesced requests (the serving layer's fan-in)."""
+        self.coalesced += n
+
+    def _counters_path(self) -> str:
+        return os.path.join(self.root, COUNTERS_FILE)
+
+    def load_counters(self) -> Dict[str, int]:
+        """The persisted lifetime tallies (zeros when absent/unreadable)."""
+        try:
+            with open(self._counters_path()) as fh:
+                data = json.load(fh)
+            if isinstance(data, dict):
+                return {k: int(data.get(k, 0)) for k in COUNTER_KEYS}
+        except (OSError, ValueError, TypeError):
+            pass
+        return {k: 0 for k in COUNTER_KEYS}
+
+    def flush_counters(self) -> Dict[str, int]:
+        """Merge the in-memory tallies into ``<root>/counters.json``.
+
+        Best-effort operational accounting, not results: the merge is a
+        read-add-rename, so two processes flushing at the same instant
+        can drop a few increments — never corrupt the file.  Returns the
+        merged totals; a disabled cache flushes nothing.
+        """
+        pending = {"hits": self.hits, "misses": self.misses,
+                   "coalesced": self.coalesced}
+        totals = self.load_counters()
+        for k, v in pending.items():
+            totals[k] += v
+        if not self.enabled or not any(pending.values()):
+            return totals
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(totals, fh)
+                os.replace(tmp, self._counters_path())
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            return totals  # keep the tallies; retry on the next flush
+        self.hits = self.misses = self.coalesced = 0
+        return totals
+
     def _entries(self):
         for dirpath, dirnames, filenames in os.walk(self.root):
             if os.path.basename(dirpath) == QUARANTINE_DIR:
                 dirnames[:] = []
                 continue
             for name in sorted(filenames):
-                if name.endswith(".json"):
+                if name.endswith(".json") and name != COUNTERS_FILE:
                     yield os.path.join(dirpath, name)
 
     def verify(self, quarantine: bool = True) -> Dict[str, object]:
@@ -266,14 +338,18 @@ class ResultCache:
                 "bad": [{"path": p, "reason": r} for p, r in bad]}
 
     def info(self) -> Dict[str, object]:
-        """Entry count and footprint (for ``repro cache info``)."""
+        """Entry count, footprint and lifetime tallies (``cache info``).
+
+        The hit/miss/coalesce numbers are the persisted totals plus any
+        tallies this instance has not flushed yet.
+        """
         entries = 0
         size = 0
         quarantined = 0
         for dirpath, _dirnames, filenames in os.walk(self.root):
             in_quarantine = os.path.basename(dirpath) == QUARANTINE_DIR
             for name in filenames:
-                if name.endswith(".json"):
+                if name.endswith(".json") and name != COUNTERS_FILE:
                     if in_quarantine:
                         quarantined += 1
                         continue
@@ -282,19 +358,31 @@ class ResultCache:
                         size += os.path.getsize(os.path.join(dirpath, name))
                     except OSError:
                         pass
+        counters = self.load_counters()
+        counters["hits"] += self.hits
+        counters["misses"] += self.misses
+        counters["coalesced"] += self.coalesced
         return {"root": self.root, "enabled": self.enabled,
                 "entries": entries, "bytes": size,
-                "quarantined": quarantined}
+                "quarantined": quarantined, **counters}
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (and reset the lifetime tallies);
+        returns the number of entries removed."""
         removed = 0
         for dirpath, _dirnames, filenames in os.walk(self.root):
             for name in filenames:
+                if name == COUNTERS_FILE:
+                    continue
                 if name.endswith(".json") or name.endswith(".tmp"):
                     try:
                         os.unlink(os.path.join(dirpath, name))
                         removed += 1
                     except OSError:
                         pass
+        try:
+            os.unlink(self._counters_path())
+        except OSError:
+            pass
+        self.hits = self.misses = self.coalesced = 0
         return removed

@@ -80,7 +80,14 @@ class SimJob:
 
 
 class WorkerError(RuntimeError):
-    """One or more simulations failed inside worker processes."""
+    """One or more simulations failed inside worker processes.
+
+    ``interrupted`` is True when the failure report was produced by a
+    Ctrl-C / SIGINT drain rather than by job failures: the pool was
+    terminated cleanly and the unfinished jobs are listed in the report.
+    """
+
+    interrupted = False
 
 
 class FailedResult:
@@ -137,7 +144,14 @@ class _Failure:
 
 
 def default_jobs() -> int:
-    """Worker count: ``REPRO_JOBS`` if set, else the machine's cores."""
+    """Worker count: ``REPRO_JOBS`` if set, else the *usable* cores.
+
+    "Usable" honours the process CPU-affinity mask
+    (``os.sched_getaffinity``) where the platform provides it, so a
+    containerized/cgroup-limited deployment pinned to 4 CPUs gets 4
+    workers even when the host machine reports 64; platforms without
+    affinity fall back to ``os.cpu_count()``.
+    """
     env = os.environ.get("REPRO_JOBS")
     if env:
         try:
@@ -145,7 +159,22 @@ def default_jobs() -> int:
         except ValueError:
             print(f"warning: unparsable REPRO_JOBS={env!r}; falling back "
                   f"to the machine's core count", file=sys.stderr)
-    return os.cpu_count() or 1
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        usable = 0
+    return usable or os.cpu_count() or 1
+
+
+#: process-wide count of retry passes that rebuilt the worker pool after
+#: a transient failure (stall timeout / executor breakage); the serving
+#: layer reports it as its ``worker restarts`` metric
+_pool_restarts = 0
+
+
+def pool_restart_count() -> int:
+    """How many times this process rebuilt a worker pool for a retry."""
+    return _pool_restarts
 
 
 def default_timeout() -> Optional[float]:
@@ -305,34 +334,56 @@ def _run_pool_pass(jobs: Sequence[SimJob], indexes: Sequence[int],
                 pool.submit(_run_batch, [jobs[i] for i in chunk]): chunk
                 for chunk in chunks}
             pending = set(futures)
-            while pending:
-                done, pending = wait(pending, timeout=timeout,
-                                     return_when=FIRST_COMPLETED)
-                if not done:
-                    # Stall: nothing completed inside the watchdog window.
-                    for f in pending:
-                        f.cancel()
-                        for i in futures[f]:
+            try:
+                while pending:
+                    done, pending = wait(pending, timeout=timeout,
+                                         return_when=FIRST_COMPLETED)
+                    if not done:
+                        # Stall: nothing completed inside the watchdog
+                        # window.
+                        for f in pending:
+                            f.cancel()
+                            for i in futures[f]:
+                                results[i] = _Failure(
+                                    "timeout", f"no worker progress for "
+                                               f"{timeout:g}s (declared "
+                                               f"hung)")
+                                transient.append(i)
+                        _terminate_workers(pool)
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        break
+                    for f in done:
+                        chunk = futures[f]
+                        exc = f.exception()
+                        if exc is not None:
+                            # Executor-level breakage (e.g. a worker
+                            # died); the jobs themselves may be fine —
+                            # retry them.
+                            for i in chunk:
+                                results[i] = _Failure("pool", repr(exc))
+                                transient.append(i)
+                            continue
+                        for i, (stats, payload, err) in zip(chunk,
+                                                            f.result()):
+                            results[i] = _Failure("worker", err) \
+                                if err is not None else (stats, payload)
+            except KeyboardInterrupt:
+                # Ctrl-C drain: kill the workers *before* the executor's
+                # __exit__ tries to join them (that join would otherwise
+                # hang on in-flight simulations and orphan mid-retry
+                # workers), then record every unfinished job so the
+                # caller can still emit the aggregated failure report.
+                for f in pending:
+                    f.cancel()
+                _terminate_workers(pool)
+                pool.shutdown(wait=False, cancel_futures=True)
+                for f in pending:
+                    for i in futures[f]:
+                        if results[i] is None:
                             results[i] = _Failure(
-                                "timeout", f"no worker progress for "
-                                           f"{timeout:g}s (declared hung)")
-                            transient.append(i)
-                    _terminate_workers(pool)
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    break
-                for f in done:
-                    chunk = futures[f]
-                    exc = f.exception()
-                    if exc is not None:
-                        # Executor-level breakage (e.g. a worker died);
-                        # the jobs themselves may be fine — retry them.
-                        for i in chunk:
-                            results[i] = _Failure("pool", repr(exc))
-                            transient.append(i)
-                        continue
-                    for i, (stats, payload, err) in zip(chunk, f.result()):
-                        results[i] = _Failure("worker", err) \
-                            if err is not None else (stats, payload)
+                                "interrupted",
+                                "interrupted by user (SIGINT)")
+                raise
     except (OSError, ImportError):  # no usable multiprocessing
         _run_serial(jobs, indexes, results)
         return []
@@ -355,6 +406,7 @@ def execute_jobs_observed(
     aggregating *every* failure is raised.  The pool is never left
     hanging — stalled workers are terminated.
     """
+    global _pool_restarts
     n = default_jobs() if n_workers is None else max(1, n_workers)
     if timeout is None:
         timeout = default_timeout()
@@ -365,22 +417,34 @@ def execute_jobs_observed(
     attempts = [0] * len(jobs)
     outstanding = list(range(len(jobs)))
     attempt = 0
-    while outstanding:
-        for i in outstanding:
-            attempts[i] += 1
-        if n <= 1 or len(outstanding) <= 1:
-            # In-process execution: no pool, no watchdog (a hang here
-            # would hang the caller anyway), no transient failures.
-            _run_serial(jobs, outstanding, results)
-            transient: List[int] = []
-        else:
-            transient = _run_pool_pass(jobs, outstanding, results, n,
-                                       timeout)
-        if not transient or attempt >= retries:
-            break
-        attempt += 1
-        time.sleep(min(2.0, 0.1 * (2 ** (attempt - 1))))
-        outstanding = sorted(transient)
+    interrupted = False
+    try:
+        while outstanding:
+            for i in outstanding:
+                attempts[i] += 1
+            if n <= 1 or len(outstanding) <= 1:
+                # In-process execution: no pool, no watchdog (a hang here
+                # would hang the caller anyway), no transient failures.
+                _run_serial(jobs, outstanding, results)
+                transient: List[int] = []
+            else:
+                transient = _run_pool_pass(jobs, outstanding, results, n,
+                                           timeout)
+            if not transient or attempt >= retries:
+                break
+            attempt += 1
+            _pool_restarts += 1
+            time.sleep(min(2.0, 0.1 * (2 ** (attempt - 1))))
+            outstanding = sorted(transient)
+    except KeyboardInterrupt:
+        # The pool pass already terminated its workers; any slot that
+        # never produced a result becomes an "interrupted" failure so
+        # the drain still ends with the aggregated failure report.
+        interrupted = True
+        for i, slot in enumerate(results):
+            if slot is None:
+                results[i] = _Failure("interrupted",
+                                      "interrupted by user (SIGINT)")
     out: List[Tuple[Union[SimStats, FailedResult], Optional[dict]]] = []
     failures: List[FailedResult] = []
     for i, (job, slot) in enumerate(zip(jobs, results)):
@@ -394,6 +458,13 @@ def execute_jobs_observed(
             assert slot is not None
             stats, payload = slot
             out.append((SimStats.from_dict(stats), payload))
+    if interrupted:
+        # An interrupt always aborts (keep_going is for *job* failures):
+        # the report names every job that did not finish.
+        err = WorkerError("interrupted by user — pool drained cleanly\n"
+                          + aggregate_failure_report(failures))
+        err.interrupted = True
+        raise err
     if failures and not keep_going:
         raise WorkerError(aggregate_failure_report(failures))
     return out
@@ -461,6 +532,10 @@ class ParallelRunner:
         self.observations: List[Tuple[str, dict]] = []
         #: FailedResult placeholders collected under ``keep_going``
         self.failures: List[FailedResult] = []
+        #: where each resolved (kernel, cfg) point last came from:
+        #: ``memo`` / ``disk`` / ``sim`` / ``failed`` — the serving layer
+        #: uses this for per-request attribution
+        self.sources: Dict[tuple, str] = {}
         self._memo: Dict[tuple, SimStats] = {}
         self._programs: Dict[tuple, object] = {}
         self._disk_keys: Dict[tuple, str] = {}
@@ -512,6 +587,7 @@ class ParallelRunner:
                 st = self._memo.get(memo_key)
                 if st is not None:
                     self.memo_hits += 1
+                    self.sources[memo_key] = "memo"
                     resolved[memo_key] = st
                     continue
                 try:
@@ -523,6 +599,7 @@ class ParallelRunner:
                     st = None
                 if st is not None:
                     self.disk_hits += 1
+                    self.sources[memo_key] = "disk"
                     self._memo[memo_key] = resolved[memo_key] = st
                     continue
             pending.append(memo_key)
@@ -538,12 +615,17 @@ class ParallelRunner:
                 if isinstance(st, FailedResult):
                     # A hole, not a result: report it, never cache it.
                     self.failures.append(st)
+                    self.sources[memo_key] = "failed"
                     resolved[memo_key] = st
                     continue
                 self._memo[memo_key] = resolved[memo_key] = st
+                self.sources[memo_key] = "sim"
                 self.cache.put(self._key(*memo_key), st)
                 if payload is not None:
                     self.observations.append((memo_key[0], payload))
+        # Persist the hit/miss tallies this batch accumulated (a no-op
+        # when nothing changed or the cache is disabled).
+        self.cache.flush_counters()
         return [resolved[(name, cfg)] for name, cfg in points]
 
     # -- observations ----------------------------------------------------

@@ -1,0 +1,43 @@
+"""``repro serve`` — the async simulation service.
+
+A long-running daemon owning one persistent runner pool and the result
+cache, so interactive sweeps and CI jobs share warm state instead of
+paying cold-start per invocation.  The serving layer re-applies the
+paper's reuse idea at request granularity: identical in-flight requests
+*coalesce* onto one execution (keyed by the runtime's content-addressed
+cache key) exactly as the mechanism reuses a control-independent slice
+instead of re-executing it.
+
+Modules: ``protocol`` (versioned wire types), ``queue`` (priority +
+fairness + coalescing), ``scheduler`` (admission control + dispatch),
+``server`` (asyncio front end), ``client`` (wire client + thin-client
+runner), ``metrics`` (Prometheus / healthz).
+"""
+
+from .client import RemoteRunner, ServeClient, ServeError, parse_address
+from .metrics import ServerMetrics
+from .protocol import (DEFAULT_PORT, PROTOCOL_VERSION, ErrorInfo, JobSpec,
+                       JobStatus, ProtocolError)
+from .queue import ServeQueue
+from .scheduler import AdmissionController, Dispatcher, SimExecutor
+from .server import ServeServer, serve_main
+
+__all__ = [
+    "AdmissionController",
+    "DEFAULT_PORT",
+    "Dispatcher",
+    "ErrorInfo",
+    "JobSpec",
+    "JobStatus",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteRunner",
+    "ServeClient",
+    "ServeError",
+    "ServeQueue",
+    "ServeServer",
+    "ServerMetrics",
+    "SimExecutor",
+    "parse_address",
+    "serve_main",
+]

@@ -1,0 +1,309 @@
+"""Blocking client for the simulation service.
+
+Two layers:
+
+* :class:`ServeClient` — the wire client: one HTTP request per call
+  (the server closes connections after each response), JSON envelopes
+  parsed into protocol types, and a :meth:`ServeClient.run` convenience
+  that submits a batch, honours ``retry_after`` backpressure, polls to
+  terminal states and collects results.
+* :class:`RemoteRunner` — an :class:`~repro.experiments.common.Runner`
+  whose ``run_many`` ships every pending point to a daemon instead of a
+  local worker pool.  Figures and suites built on ``Runner`` work
+  unchanged (``repro suite --server``, ``repro figure --server``):
+  stats come back as the same :class:`~repro.uarch.SimStats` values the
+  daemon's runner produced, and failures surface as the same
+  :class:`~repro.runtime.FailedResult` holes a local ``--keep-going``
+  sweep would report.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..experiments.common import Runner
+from ..runtime import FailedResult, ResultCache
+from ..uarch import ProcessorConfig, SimStats
+from . import protocol
+from .protocol import ErrorInfo, JobSpec, JobStatus
+
+#: outcome of one spec: terminal status + stats payload (None on failure)
+Outcome = Tuple[JobStatus, Optional[dict]]
+
+#: status-poll interval while waiting on the daemon
+POLL_INTERVAL = 0.1
+
+
+class ServeError(RuntimeError):
+    """The daemon is unreachable or answered outside the protocol."""
+
+
+def parse_address(addr: str) -> Tuple[str, int]:
+    """``host``, ``host:port`` or ``http://host:port`` -> (host, port)."""
+    addr = addr.strip()
+    for prefix in ("http://", "https://"):
+        if addr.startswith(prefix):
+            addr = addr[len(prefix):]
+    addr = addr.rstrip("/")
+    host, _, port = addr.partition(":")
+    try:
+        return host or "127.0.0.1", (int(port) if port
+                                     else protocol.DEFAULT_PORT)
+    except ValueError:
+        raise ServeError(f"bad server address {addr!r} "
+                         f"(expected host[:port])") from None
+
+
+class ServeClient:
+    """Synchronous wire client for one daemon address."""
+
+    def __init__(self, addr: str, timeout: float = 30.0):
+        self.host, self.port = parse_address(addr)
+        self.timeout = timeout
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- wire ------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> Tuple[int, object]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body)
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeError(
+                f"cannot reach repro serve at {self.base_url}: "
+                f"{exc}") from None
+        finally:
+            conn.close()
+        ctype = resp.headers.get("Content-Type", "")
+        if ctype.startswith("application/json"):
+            try:
+                return resp.status, json.loads(raw)
+            except ValueError:
+                raise ServeError(
+                    f"malformed JSON from {self.base_url}{path}") from None
+        return resp.status, raw.decode("utf-8", "replace")
+
+    @staticmethod
+    def _envelope(status: int, body: object) -> dict:
+        if not isinstance(body, dict) or "ok" not in body:
+            raise ServeError(
+                f"unexpected response (HTTP {status}): {body!r}")
+        return body
+
+    # -- endpoints -------------------------------------------------------
+    def submit(self, specs: Sequence[JobSpec]) -> List[dict]:
+        """Submit a batch; returns the per-job accept/reject decisions
+        (``{"accepted", "id"?, "coalesced"?, "error"?}`` per spec)."""
+        body = {"v": protocol.PROTOCOL_VERSION,
+                "jobs": [s.to_dict() for s in specs]}
+        status, raw = self._request(
+            "POST", f"{protocol.API_PREFIX}/submit", body)
+        env = self._envelope(status, raw)
+        if not env.get("ok"):
+            err = ErrorInfo.from_dict(env.get("error"))
+            raise ServeError(f"submit rejected: {err.message}")
+        jobs = env.get("jobs")
+        if not isinstance(jobs, list) or len(jobs) != len(specs):
+            raise ServeError("submit response does not match the batch")
+        return jobs
+
+    def status(self, job_id: str) -> JobStatus:
+        status, raw = self._request(
+            "GET", f"{protocol.API_PREFIX}/status?id={job_id}")
+        env = self._envelope(status, raw)
+        if not env.get("ok"):
+            err = ErrorInfo.from_dict(env.get("error"))
+            raise ServeError(f"status {job_id}: {err.message}")
+        return JobStatus.from_dict(env.get("job"))
+
+    def result(self, job_id: str) -> Outcome:
+        """Terminal (status, stats) for one job; stats is None unless
+        the job finished ``done``.  Frees the ticket server-side."""
+        status, raw = self._request(
+            "GET", f"{protocol.API_PREFIX}/result?id={job_id}")
+        env = self._envelope(status, raw)
+        if not env.get("ok"):
+            err = ErrorInfo.from_dict(env.get("error"))
+            raise ServeError(f"result {job_id}: {err.message}")
+        job = JobStatus.from_dict(env.get("job"))
+        stats = env.get("stats")
+        return job, stats if isinstance(stats, dict) else None
+
+    def cancel(self, job_id: str) -> bool:
+        status, raw = self._request(
+            "POST", f"{protocol.API_PREFIX}/cancel",
+            {"v": protocol.PROTOCOL_VERSION, "id": job_id})
+        env = self._envelope(status, raw)
+        return bool(env.get("cancelled"))
+
+    def health(self) -> dict:
+        status, raw = self._request("GET", "/healthz")
+        return self._envelope(status, raw)
+
+    def metrics_text(self) -> str:
+        status, raw = self._request("GET", "/metrics")
+        if status != 200 or not isinstance(raw, str):
+            raise ServeError(f"metrics endpoint answered HTTP {status}")
+        return raw
+
+    # -- convenience -----------------------------------------------------
+    def run(self, specs: Sequence[JobSpec],
+            on_update: Optional[Callable[[str, JobStatus], None]] = None,
+            poll: float = POLL_INTERVAL,
+            backoff_tries: int = 60) -> List[Outcome]:
+        """Submit, ride out backpressure, poll to completion.
+
+        Per-spec, order-preserving.  Rejections with a ``retry_after``
+        hint are resubmitted (up to ``backoff_tries`` rounds); permanent
+        refusals (bad request, draining, shedding) become synthetic
+        ``failed`` outcomes so sweeps degrade like ``--keep-going``
+        instead of aborting.  ``on_update(id, status)`` fires on every
+        observed state change.
+        """
+        outcomes: List[Optional[Outcome]] = [None] * len(specs)
+        waiting: Dict[str, int] = {}          # job id -> spec index
+        todo = list(range(len(specs)))
+        tries = 0
+        while todo:
+            decisions = self.submit([specs[i] for i in todo])
+            retry: List[int] = []
+            wait_hint = 0.0
+            for i, decision in zip(todo, decisions):
+                if decision.get("accepted"):
+                    job_id = str(decision.get("id"))
+                    waiting[job_id] = i
+                    if on_update:
+                        on_update(job_id, JobStatus(
+                            id=job_id, kernel=specs[i].kernel,
+                            state=str(decision.get("state",
+                                                   protocol.QUEUED))))
+                    continue
+                err = ErrorInfo.from_dict(decision.get("error"))
+                if err.kind == "rejected" and tries < backoff_tries:
+                    retry.append(i)
+                    wait_hint = max(wait_hint, err.retry_after)
+                    continue
+                outcomes[i] = (JobStatus(
+                    id="", kernel=specs[i].kernel, state=protocol.FAILED,
+                    source="failed", error=err), None)
+            todo = retry
+            if todo:
+                tries += 1
+                time.sleep(max(0.1, wait_hint or poll))
+        seen: Dict[str, str] = {}
+        while waiting:
+            for job_id in list(waiting):
+                st = self.status(job_id)
+                if on_update and seen.get(job_id) != st.state:
+                    seen[job_id] = st.state
+                    on_update(job_id, st)
+                if st.terminal:
+                    idx = waiting.pop(job_id)
+                    outcomes[idx] = self.result(job_id)
+            if waiting:
+                time.sleep(poll)
+        assert all(o is not None for o in outcomes)
+        return [o for o in outcomes if o is not None]
+
+
+class RemoteRunner(Runner):
+    """A ``Runner`` whose misses execute on a remote daemon.
+
+    The local memo still deduplicates within the process; everything
+    else — disk cache, worker pool, coalescing — lives on the server.
+    Accounting mirrors the server's per-job ``source`` attribution so
+    ``runtime_summary`` stays honest about where results came from.
+    """
+
+    def __init__(self, addr: str,
+                 scale: Optional[float] = None,
+                 seed: Optional[int] = None,
+                 priority: str = "sweep",
+                 client_name: str = "cli",
+                 keep_going: bool = False,
+                 on_update: Optional[Callable[[str, JobStatus],
+                                              None]] = None):
+        # jobs=1 and a disabled cache: this process does no local
+        # simulation and must not shadow the daemon's persistent cache.
+        super().__init__(scale=scale, seed=seed, jobs=1,
+                         cache=ResultCache(enabled=False),
+                         keep_going=keep_going)
+        self.client = ServeClient(addr)
+        self.priority = priority
+        self.client_name = client_name
+        self.on_update = on_update
+        #: server-side source tallies (sim/disk/memo/coalesced/failed)
+        self.server_sources: Dict[str, int] = {}
+
+    def run_many(self, points: Sequence[Tuple[str, ProcessorConfig]]
+                 ) -> List[SimStats]:
+        resolved: Dict[tuple, SimStats] = {}
+        pending: List[tuple] = []
+        for name, cfg in points:
+            memo_key = (name, cfg)
+            if memo_key in resolved or memo_key in pending:
+                continue
+            st = self._memo.get(memo_key)
+            if st is not None:
+                self.memo_hits += 1
+                self.sources[memo_key] = "memo"
+                resolved[memo_key] = st
+                continue
+            pending.append(memo_key)
+        if pending:
+            specs = [JobSpec(kernel=name, scale=self.scale,
+                             seed=self.seed, cfg=cfg,
+                             priority=self.priority,
+                             client=self.client_name)
+                     for name, cfg in pending]
+            outcomes = self.client.run(specs, on_update=self.on_update)
+            for memo_key, (status, stats) in zip(pending, outcomes):
+                source = status.source or status.state
+                self.server_sources[source] = (
+                    self.server_sources.get(source, 0) + 1)
+                if status.state == protocol.DONE and stats is not None:
+                    st = SimStats.from_dict(stats)
+                    self._memo[memo_key] = resolved[memo_key] = st
+                    self.sources[memo_key] = source
+                    continue
+                err = status.error or ErrorInfo(
+                    kind="failed", message=f"job ended {status.state} "
+                                           f"without stats")
+                failed = err.to_failed_result(memo_key[0], self.scale,
+                                              self.seed)
+                if not self.keep_going:
+                    raise ServeError(f"remote job failed: "
+                                     f"{failed.describe()}")
+                self.failures.append(failed)
+                self.sources[memo_key] = "failed"
+                resolved[memo_key] = failed
+        return [resolved[(name, cfg)] for name, cfg in points]
+
+    def runtime_summary(self) -> str:
+        served = sum(self.server_sources.values())
+        parts = [f"runtime: {served} job(s) served by "
+                 f"{self.client.base_url}"]
+        for source in ("sim", "disk", "memo", "coalesced"):
+            n = self.server_sources.get(source, 0)
+            if n:
+                parts.append(f"{n} {source}")
+        if self.memo_hits:
+            parts.append(f"{self.memo_hits} local memo hit(s)")
+        line = ", ".join(parts)
+        if self.failures:
+            line += f", {len(self.failures)} FAILED"
+        return line

@@ -1,0 +1,253 @@
+"""Priority job queue with per-client fairness and request coalescing.
+
+The queue applies the paper's reuse idea one level up: just as the
+mechanism validates a control-independent slice once and *skips*
+re-executing it, the server detects identical in-flight simulation
+requests and runs them once.  Identity is the runtime's existing
+content-addressed cache key (predecode image digest + resolved config +
+scale/seed — :func:`repro.runtime.job_key`), so "identical" here means
+*provably the same simulation*, not merely the same argument strings.
+
+Structure:
+
+* a :class:`Ticket` is one client-visible submission (what ``status`` /
+  ``result`` address by id);
+* an :class:`Entry` is one unit of execution — the fan-in point.  N
+  tickets with the same key attach to one entry and fan out N responses
+  when it finishes;
+* entries queue in two priority lanes (``interactive`` before
+  ``sweep``), each lane holding one FIFO per client, drained round-robin
+  across clients so one chatty client cannot starve the rest.
+
+Thread discipline: every method here runs on the server's event-loop
+thread.  The executor thread only ever touches the ``Entry`` objects a
+dispatch pass handed it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from . import protocol
+from .protocol import ErrorInfo, JobSpec, JobStatus
+
+_ids = itertools.count(1)
+
+
+def _new_ticket_id() -> str:
+    return f"j{next(_ids):06d}-{os.urandom(3).hex()}"
+
+
+class Ticket:
+    """One client-visible submission (identified by ``id``)."""
+
+    __slots__ = ("id", "spec", "key", "state", "source", "error", "stats",
+                 "submitted_at", "started_at", "finished_at", "coalesced")
+
+    def __init__(self, spec: JobSpec, key: str, now: float):
+        self.id = _new_ticket_id()
+        self.spec = spec
+        self.key = key
+        self.state = protocol.QUEUED
+        self.source = ""
+        self.error: Optional[ErrorInfo] = None
+        self.stats: Optional[dict] = None     # SimStats.to_dict payload
+        self.submitted_at = now
+        self.started_at = 0.0
+        self.finished_at = 0.0
+        #: True when this ticket attached to an entry that already existed
+        self.coalesced = False
+
+    def status(self) -> JobStatus:
+        return JobStatus(id=self.id, kernel=self.spec.kernel,
+                         state=self.state, source=self.source,
+                         error=self.error)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in protocol.TERMINAL_STATES
+
+
+class Entry:
+    """One unit of execution: every ticket sharing one cache key."""
+
+    __slots__ = ("key", "spec", "priority", "client", "tickets", "state",
+                 "seq")
+
+    _seq = itertools.count(1)
+
+    def __init__(self, ticket: Ticket):
+        self.key = ticket.key
+        self.spec = ticket.spec             # representative spec
+        self.priority = ticket.spec.priority
+        self.client = ticket.spec.client    # fairness lane key
+        self.tickets: List[Ticket] = [ticket]
+        self.state = protocol.QUEUED
+        self.seq = next(Entry._seq)         # arrival order (for shedding)
+
+
+#: one lane: client name -> FIFO of queued entries
+_Lane = "OrderedDict[str, Deque[Entry]]"
+
+
+class ServeQueue:
+    """The daemon's admission queue (coalescing + fairness, no policy).
+
+    Admission *decisions* (reject/shed) live in the scheduler; this
+    class only implements the structure they act on.
+    """
+
+    def __init__(self) -> None:
+        #: key -> in-flight entry (queued or running): the coalesce index
+        self.entries: Dict[str, Entry] = {}
+        self._lanes: Dict[str, OrderedDict] = {
+            p: OrderedDict() for p in protocol.PRIORITIES}
+        #: queued (not yet dispatched) entries
+        self.depth = 0
+        #: entries currently executing
+        self.inflight = 0
+
+    # -- submission ------------------------------------------------------
+    def coalesce(self, ticket: Ticket) -> Optional[Entry]:
+        """Attach ``ticket`` to an in-flight entry with the same key.
+
+        Returns the entry (ticket rides along; state mirrors the
+        entry's), or None when no such entry exists.  An interactive
+        ticket joining a *queued* sweep entry upgrades it — the fan-in
+        must not leave an interactive client waiting behind sweep jobs.
+        """
+        entry = self.entries.get(ticket.key)
+        if entry is None:
+            return None
+        entry.tickets.append(ticket)
+        ticket.coalesced = True
+        ticket.state = entry.state
+        if entry.state == protocol.RUNNING:
+            ticket.started_at = ticket.submitted_at
+        elif (ticket.spec.priority == "interactive"
+                and entry.priority == "sweep"):
+            self._remove_queued(entry)
+            entry.priority = "interactive"
+            self._enqueue(entry)
+        return entry
+
+    def push(self, ticket: Ticket) -> Entry:
+        """Queue a brand-new entry for ``ticket`` (no coalesce target)."""
+        entry = Entry(ticket)
+        self.entries[entry.key] = entry
+        self._enqueue(entry)
+        return entry
+
+    def _enqueue(self, entry: Entry) -> None:
+        lane = self._lanes[entry.priority]
+        lane.setdefault(entry.client, deque()).append(entry)
+        self.depth += 1
+
+    def _remove_queued(self, entry: Entry) -> None:
+        lane = self._lanes[entry.priority]
+        dq = lane.get(entry.client)
+        if dq is not None:
+            try:
+                dq.remove(entry)
+            except ValueError:
+                return
+            if not dq:
+                del lane[entry.client]
+            self.depth -= 1
+
+    # -- dispatch --------------------------------------------------------
+    def pop_batch(self, max_n: int) -> List[Entry]:
+        """Take up to ``max_n`` queued entries for execution.
+
+        Interactive entries first; within a lane, one entry per client
+        per round (round-robin) so clients progress evenly.  Popped
+        entries transition to RUNNING (their tickets with them) and stay
+        in the coalesce index until :meth:`finish`.
+        """
+        out: List[Entry] = []
+        for priority in protocol.PRIORITIES:
+            lane = self._lanes[priority]
+            while lane and len(out) < max_n:
+                for client in list(lane.keys()):
+                    if len(out) >= max_n:
+                        break
+                    dq = lane.get(client)
+                    if not dq:
+                        lane.pop(client, None)
+                        continue
+                    out.append(dq.popleft())
+                    if not dq:
+                        lane.pop(client, None)
+        for entry in out:
+            entry.state = protocol.RUNNING
+            for t in entry.tickets:
+                t.state = protocol.RUNNING
+        self.depth -= len(out)
+        self.inflight += len(out)
+        return out
+
+    def finish(self, entry: Entry) -> None:
+        """Retire a dispatched entry (tickets already finalised)."""
+        self.entries.pop(entry.key, None)
+        self.inflight -= 1
+
+    # -- eviction / cancellation ----------------------------------------
+    def shed_newest_sweep(self) -> Optional[Entry]:
+        """Evict the most recently queued sweep entry (LIFO shed).
+
+        Newest-first keeps the work already waiting longest; entries
+        that gained an interactive ticket were upgraded out of the sweep
+        lane and are never shed.
+        """
+        lane = self._lanes["sweep"]
+        victim: Optional[Entry] = None
+        for dq in lane.values():
+            if dq and (victim is None or dq[-1].seq > victim.seq):
+                victim = dq[-1]
+        if victim is None:
+            return None
+        self._remove_queued(victim)
+        del self.entries[victim.key]
+        return victim
+
+    def cancel(self, ticket: Ticket) -> bool:
+        """Detach a *queued* ticket; True when it was cancelled.
+
+        Cancelling the last ticket of an entry removes the entry; a
+        coalesced sibling keeps the entry alive.  Running or terminal
+        tickets are not cancellable (the pool owns them).
+        """
+        if ticket.state != protocol.QUEUED:
+            return False
+        entry = self.entries.get(ticket.key)
+        if entry is None or ticket not in entry.tickets:
+            return False
+        entry.tickets.remove(ticket)
+        if not entry.tickets:
+            self._remove_queued(entry)
+            del self.entries[entry.key]
+        return True
+
+    def drain(self) -> List[Entry]:
+        """Remove every queued entry (shutdown path); returns them."""
+        drained: List[Entry] = []
+        for priority in protocol.PRIORITIES:
+            lane = self._lanes[priority]
+            for dq in lane.values():
+                drained.extend(dq)
+            lane.clear()
+        for entry in drained:
+            del self.entries[entry.key]
+        self.depth -= len(drained)
+        return drained
+
+    # -- introspection ---------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        queued_tickets = sum(
+            len(e.tickets) for e in self.entries.values()
+            if e.state == protocol.QUEUED)
+        return {"depth": self.depth, "inflight": self.inflight,
+                "queued_tickets": queued_tickets}

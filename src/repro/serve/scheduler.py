@@ -1,0 +1,257 @@
+"""Admission control and dispatch for the simulation service.
+
+Three pieces:
+
+* :class:`AdmissionController` — bounded queue depth with backpressure.
+  Like *variable instruction fetch rate* throttling fetch under branch
+  uncertainty, the server throttles admission under load instead of
+  melting down: when the queue is full, new sweep jobs are rejected with
+  a 429-style ``retry_after``, and interactive jobs may *shed* the
+  newest queued sweep job to take its place (load-shedding low-priority
+  work before interactive work).
+* :class:`SimExecutor` — the synchronous execution engine.  It owns the
+  persistent per-(scale, seed) :class:`~repro.runtime.ParallelRunner`
+  instances (one shared disk cache, warm program/result memos) and
+  computes coalescing keys.  Watchdog, retry and failure classification
+  are entirely delegated to ``runtime/parallel.py``; runners run with
+  ``keep_going`` so a failed job becomes an error envelope, never a
+  dead dispatcher.
+* :class:`Dispatcher` — the async loop: pop a fair batch, execute it in
+  a worker thread (``asyncio.to_thread``), fan results out to every
+  ticket, repeat.  One batch executes at a time; requests arriving
+  meanwhile coalesce onto queued/running entries, which is exactly the
+  reuse window the design wants.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..runtime import FailedResult, ParallelRunner, ResultCache, job_key
+from ..runtime.cache import config_token
+from . import protocol
+from .metrics import ServerMetrics
+from .protocol import ErrorInfo, JobSpec
+from .queue import Entry, ServeQueue, Ticket
+
+
+@dataclass(frozen=True)
+class Admission:
+    """Outcome of one admission decision."""
+
+    accepted: bool
+    error: Optional[ErrorInfo] = None
+    #: sweep entry evicted to make room (already detached from the queue)
+    shed: Optional[Entry] = None
+
+
+class AdmissionController:
+    """Bounded-depth admission with priority-aware load shedding."""
+
+    def __init__(self, max_depth: int = 256):
+        self.max_depth = max(1, max_depth)
+
+    def retry_after(self, queue: ServeQueue,
+                    metrics: ServerMetrics) -> float:
+        """Backpressure hint: roughly one batch's worth of latency."""
+        est = metrics.recent_latency() * max(1, queue.depth)
+        return min(30.0, max(0.5, est))
+
+    def decide(self, queue: ServeQueue, spec: JobSpec,
+               metrics: ServerMetrics) -> Admission:
+        if queue.depth < self.max_depth:
+            return Admission(accepted=True)
+        retry = self.retry_after(queue, metrics)
+        if spec.priority == "interactive":
+            victim = queue.shed_newest_sweep()
+            if victim is not None:
+                return Admission(accepted=True, shed=victim)
+        return Admission(accepted=False, error=ErrorInfo(
+            kind="rejected",
+            message=f"queue full ({self.max_depth} entries); "
+                    f"retry in {retry:.1f}s",
+            retry_after=retry))
+
+
+class SimExecutor:
+    """Synchronous execution engine behind the dispatcher.
+
+    Long-lived state: one :class:`ResultCache` shared by every runner,
+    one :class:`ParallelRunner` per (scale, seed) workload point (the
+    runner's program/result memos are per scale/seed, so reusing the
+    instance is what makes the daemon *warm*), and a key memo for
+    coalescing.  ``key_for`` runs on submit threads and ``execute`` on
+    the dispatch thread; the key lock keeps concurrent program builds
+    from duplicating work.
+    """
+
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 jobs: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: Optional[int] = None):
+        self.cache = ResultCache() if cache is None else cache
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self._runners: Dict[Tuple[float, int], ParallelRunner] = {}
+        self._keys: Dict[Tuple[str, float, int, str], str] = {}
+        self._key_lock = threading.Lock()
+
+    # -- runners ---------------------------------------------------------
+    def runner_for(self, scale: float, seed: int) -> ParallelRunner:
+        point = (scale, seed)
+        runner = self._runners.get(point)
+        if runner is None:
+            runner = ParallelRunner(
+                scale=scale, seed=seed, jobs=self.jobs, cache=self.cache,
+                keep_going=True, timeout=self.timeout,
+                retries=self.retries)
+            self._runners[point] = runner
+        return runner
+
+    # -- coalescing keys -------------------------------------------------
+    def key_for(self, spec: JobSpec) -> str:
+        """The content-addressed identity of one request.
+
+        Exactly the runtime's disk-cache key (program fingerprint +
+        predecode image digest + resolved config + scale/seed), so two
+        requests coalesce iff a warm cache would have served the second
+        from the first's result.  Raises :class:`protocol.ProtocolError`
+        for a kernel that cannot be built.
+        """
+        cfg = spec.resolved_cfg()
+        memo = (spec.kernel, spec.scale, spec.seed, config_token(cfg))
+        with self._key_lock:
+            key = self._keys.get(memo)
+            if key is None:
+                runner = self.runner_for(spec.scale, spec.seed)
+                try:
+                    program = runner.program(spec.kernel)
+                except Exception as exc:
+                    raise protocol.ProtocolError(
+                        f"cannot build kernel {spec.kernel!r}: "
+                        f"{exc}") from None
+                key = job_key(program, cfg, spec.scale, spec.seed)
+                self._keys[memo] = key
+            return key
+
+    # -- execution -------------------------------------------------------
+    def execute(self, entries: List[Entry]) -> Dict[str, Tuple[object, str]]:
+        """Run a batch; returns ``{entry key: (stats-or-FailedResult,
+        source)}`` where source is memo/disk/sim/failed.
+
+        Runs on the dispatch worker thread.  Entries are grouped per
+        (scale, seed) runner; within a group the runner handles pool
+        fan-out, memo/disk reuse and keep-going failure capture.
+        """
+        outcome: Dict[str, Tuple[object, str]] = {}
+        groups: Dict[Tuple[float, int], List[Entry]] = {}
+        for entry in entries:
+            spec = entry.spec
+            groups.setdefault((spec.scale, spec.seed), []).append(entry)
+        for (scale, seed), group in groups.items():
+            runner = self.runner_for(scale, seed)
+            points = [(e.spec.kernel, e.spec.resolved_cfg()) for e in group]
+            stats = runner.run_many(points)
+            for entry, point, st in zip(group, points, stats):
+                outcome[entry.key] = (st, runner.sources.get(point, "sim"))
+            # Error envelopes carry each failure; don't let the daemon's
+            # keep-going ledger grow without bound.
+            runner.failures.clear()
+        return outcome
+
+    # -- accounting ------------------------------------------------------
+    def totals(self) -> Dict[str, int]:
+        t = {"sims_run": 0, "disk_hits": 0, "memo_hits": 0}
+        for runner in self._runners.values():
+            t["sims_run"] += runner.sims_run
+            t["disk_hits"] += runner.disk_hits
+            t["memo_hits"] += runner.memo_hits
+        return t
+
+    def flush_cache(self) -> None:
+        self.cache.flush_counters()
+
+
+class Dispatcher:
+    """The async dispatch loop (one in-flight batch at a time)."""
+
+    def __init__(self, queue: ServeQueue, executor: SimExecutor,
+                 metrics: ServerMetrics, batch_max: int = 32):
+        self.queue = queue
+        self.executor = executor
+        self.metrics = metrics
+        self.batch_max = max(1, batch_max)
+        self._wake = asyncio.Event()
+        self._stopping = False
+        self._task: Optional[asyncio.Task] = None
+
+    def start(self) -> None:
+        self._task = asyncio.get_event_loop().create_task(self._run())
+
+    def kick(self) -> None:
+        self._wake.set()
+
+    async def stop(self) -> None:
+        """Finish the in-flight batch (and anything already queued
+        before the drain emptied it), then stop."""
+        self._stopping = True
+        self.kick()
+        if self._task is not None:
+            await self._task
+
+    async def _run(self) -> None:
+        while True:
+            entries = self.queue.pop_batch(self.batch_max)
+            if not entries:
+                if self._stopping:
+                    break
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            now = time.monotonic()
+            for entry in entries:
+                for t in entry.tickets:
+                    t.started_at = t.started_at or now
+            try:
+                outcome = await asyncio.to_thread(
+                    self.executor.execute, entries)
+            except Exception:
+                # Belt and braces: runners run keep_going, so anything
+                # landing here is a dispatcher bug — fail the batch with
+                # the traceback instead of killing the loop.
+                err = traceback.format_exc()
+                outcome = {e.key: (FailedResult(
+                    e.spec.kernel, e.spec.scale, e.spec.seed, error=err,
+                    phase="dispatch"), "failed") for e in entries}
+            self._finish(entries, outcome)
+            self.executor.flush_cache()
+
+    def _finish(self, entries: List[Entry],
+                outcome: Dict[str, Tuple[object, str]]) -> None:
+        now = time.monotonic()
+        for entry in entries:
+            result, source = outcome.get(
+                entry.key, (FailedResult(entry.spec.kernel,
+                                         entry.spec.scale, entry.spec.seed,
+                                         error="no result produced",
+                                         phase="dispatch"), "failed"))
+            failed = isinstance(result, FailedResult)
+            for i, ticket in enumerate(entry.tickets):
+                ticket.finished_at = now
+                ticket.source = source if i == 0 else "coalesced"
+                if failed:
+                    ticket.state = protocol.FAILED
+                    ticket.error = ErrorInfo.from_failed_result(result)
+                    self.metrics.inc("jobs_failed")
+                else:
+                    ticket.state = protocol.DONE
+                    ticket.stats = result.to_dict()
+                    self.metrics.inc("jobs_completed")
+                self.metrics.observe_latency(now - ticket.submitted_at)
+            self.queue.finish(entry)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Optional
 
 #: Sentinel for an effectively unbounded register file ("Inf" in Figure 9).
@@ -132,6 +132,38 @@ class ProcessorConfig:
     def rename_regs(self) -> int:
         """Registers available for renaming beyond the architectural state."""
         return self.phys_regs - 64
+
+
+def config_to_dict(cfg: ProcessorConfig) -> dict:
+    """JSON-safe dict form of a configuration (wire format, lossless)."""
+    return asdict(cfg)
+
+
+def config_from_dict(data: dict) -> ProcessorConfig:
+    """Rebuild a :class:`ProcessorConfig` from :func:`config_to_dict`.
+
+    Strict: an unknown field raises ``ValueError`` (a wire peer speaking
+    a newer config schema must not be silently truncated into a config
+    that simulates something else).
+    """
+    if not isinstance(data, dict):
+        raise ValueError("config payload must be an object")
+    known = {f.name for f in fields(ProcessorConfig)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"unknown config field(s): {', '.join(unknown)}")
+    kwargs = dict(data)
+    for name in ("l1d", "l2", "l3"):
+        level = kwargs.get(name)
+        if isinstance(level, dict):
+            try:
+                kwargs[name] = CacheConfig(**level)
+            except TypeError as exc:
+                raise ValueError(f"bad {name} cache config: {exc}") from None
+    try:
+        return ProcessorConfig(**kwargs)
+    except TypeError as exc:
+        raise ValueError(f"bad config payload: {exc}") from None
 
 
 # ---------------------------------------------------------------------------

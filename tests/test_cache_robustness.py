@@ -174,3 +174,71 @@ class TestFaultModeDisablesCache:
         assert cache_enabled()
         monkeypatch.setenv("REPRO_FAULTS", "squash@100")
         assert not cache_enabled()
+
+
+class TestCacheCounters:
+    """Lifetime hit/miss/coalesce accounting (PR: serving layer)."""
+
+    def test_get_tallies_hits_and_misses(self, cache):
+        assert cache.get(KEY) is None
+        cache.put(KEY, SimStats(cycles=3, committed=2))
+        assert cache.get(KEY) is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_corrupt_entry_counts_as_miss(self, cache):
+        write_raw(cache, KEY, "{garbage")
+        assert cache.get(KEY) is None
+        assert cache.misses == 1
+
+    def test_disabled_cache_counts_nothing(self, tmp_path):
+        c = ResultCache(root=str(tmp_path / "c"), enabled=False)
+        c.get(KEY)
+        c.note_coalesced()
+        c.flush_counters()
+        assert (c.hits, c.misses, c.coalesced) == (0, 0, 1)
+        assert not os.path.exists(c.root)
+
+    def test_flush_merges_across_instances(self, cache):
+        cache.get(KEY)                      # one miss
+        cache.note_coalesced(2)
+        totals = cache.flush_counters()
+        assert totals == {"hits": 0, "misses": 1, "coalesced": 2}
+        # in-memory tallies reset after a successful flush
+        assert (cache.hits, cache.misses, cache.coalesced) == (0, 0, 0)
+        other = ResultCache(root=cache.root, enabled=True)
+        other.get(KEY)
+        totals = other.flush_counters()
+        assert totals == {"hits": 0, "misses": 2, "coalesced": 2}
+        assert other.load_counters()["misses"] == 2
+
+    def test_counters_file_is_not_a_cache_entry(self, cache):
+        cache.get(KEY)
+        cache.flush_counters()
+        info = cache.info()
+        assert info["entries"] == 0          # counters.json excluded
+        report = cache.verify()
+        assert report["corrupt"] == 0        # never quarantined
+        assert cache.load_counters()["misses"] == 1
+
+    def test_info_includes_unflushed_tallies(self, cache):
+        cache.get(KEY)
+        cache.flush_counters()
+        cache.get(KEY)                       # unflushed second miss
+        assert cache.info()["misses"] == 2
+
+    def test_clear_resets_counters(self, cache):
+        cache.get(KEY)
+        cache.note_coalesced()
+        cache.flush_counters()
+        cache.clear()
+        assert cache.load_counters() == {"hits": 0, "misses": 0,
+                                         "coalesced": 0}
+        assert cache.info()["misses"] == 0
+
+    def test_unreadable_counters_file_reads_as_zero(self, cache):
+        cache.get(KEY)
+        cache.flush_counters()
+        with open(os.path.join(cache.root, "counters.json"), "w") as fh:
+            fh.write("{broken")
+        assert cache.load_counters() == {"hits": 0, "misses": 0,
+                                         "coalesced": 0}

@@ -162,3 +162,41 @@ class TestObserveCommands:
         lines = out.strip().splitlines()
         assert len(lines) == 8
         assert json.loads(lines[0])["seq"] == 0
+
+
+class TestServeCli:
+    def test_cache_info_shows_counters(self, capsys, tmp_path,
+                                       monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        rc, out = run_cli(capsys, "cache", "info")
+        assert rc == 0
+        assert "hits       : 0" in out
+        assert "misses     : 0" in out
+        assert "coalesced  : 0" in out
+
+    def test_serve_and_submit_parsers(self):
+        args = build_parser().parse_args(["serve", "--port", "0",
+                                          "--queue-depth", "4"])
+        assert args.port == 0 and args.queue_depth == 4
+        args = build_parser().parse_args(
+            ["submit", "gzip", "mcf", "--server", "h:1",
+             "--priority", "sweep"])
+        assert args.kernels == ["gzip", "mcf"]
+        assert args.server == "h:1" and args.priority == "sweep"
+        args = build_parser().parse_args(["suite", "--server", "h:1"])
+        assert args.server == "h:1"
+
+    def test_submit_unknown_kernel_exits_2(self, capsys):
+        rc, _ = run_cli(capsys, "submit", "nosuchkernel",
+                        "--server", "127.0.0.1:1")
+        assert rc == 2
+
+    def test_submit_unreachable_server_exits_2(self, capsys):
+        rc, _ = run_cli(capsys, "submit", "gzip",
+                        "--server", "127.0.0.1:1")
+        assert rc == 2
+
+    def test_suite_unreachable_server_exits_2(self, capsys):
+        rc, _ = run_cli(capsys, "suite", "--server", "127.0.0.1:1",
+                        "--scale", "0.1")
+        assert rc == 2

@@ -350,3 +350,64 @@ class TestDeterminism:
         assert [s.to_dict() for s in serial_stats] \
             == [s.to_dict() for s in pooled_stats]
         assert serial_obs == pooled_obs
+
+
+class TestServingSatellites:
+    """Runtime hooks added for the serving layer."""
+
+    def test_default_jobs_prefers_affinity_mask(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: {0, 1, 2}, raising=False)
+        assert default_jobs() == 3
+
+    def test_default_jobs_falls_back_without_affinity(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+
+        def no_affinity(pid):
+            raise OSError("not supported here")
+
+        monkeypatch.setattr(os, "sched_getaffinity", no_affinity,
+                            raising=False)
+        assert default_jobs() >= 1
+
+    def test_runner_sources_attribution(self, cache):
+        cfg = wb(1, 256)
+        r = make_runner(cache, jobs=1)
+        r.run("eon", cfg)
+        assert r.sources[("eon", cfg)] == "sim"
+        r.run("eon", cfg)
+        assert r.sources[("eon", cfg)] == "memo"
+        fresh = make_runner(cache, jobs=1)
+        fresh.run("eon", cfg)
+        assert fresh.sources[("eon", cfg)] == "disk"
+
+    def test_runner_sources_mark_failures(self, cache):
+        r = ParallelRunner(scale=SCALE, seed=SEED, jobs=1, cache=cache,
+                           keep_going=True)
+        cfg = wb(1, 256)
+        r.run_many([("nosuchkernel", cfg)])
+        assert r.sources[("nosuchkernel", cfg)] == "failed"
+
+    def test_pool_restart_counter_increments_on_retry(self, monkeypatch,
+                                                      tmp_path):
+        from repro.runtime import pool_restart_count
+        monkeypatch.setenv("_REPRO_TEST_HANG_FLAG",
+                           str(tmp_path / "hung-once-2"))
+        monkeypatch.setattr(parallel_mod, "_run_job", _hang_once)
+        before = pool_restart_count()
+        # Two jobs: the single-job serial path bypasses pool + watchdog.
+        jobs = [SimJob("eon", SCALE, SEED, wb(1, 256)),
+                SimJob("mcf", SCALE, SEED, wb(1, 256))]
+        execute_jobs_observed(jobs, 2, timeout=1.5, retries=1)
+        assert pool_restart_count() == before + 1
+
+    def test_worker_error_interrupted_flag_default(self):
+        assert WorkerError("x").interrupted is False
+
+    def test_runner_flushes_cache_counters(self, cache):
+        cfg = wb(1, 256)
+        make_runner(cache, jobs=1).run("eon", cfg)     # miss + put
+        make_runner(cache, jobs=1).run("eon", cfg)     # disk hit
+        totals = cache.load_counters()
+        assert totals["misses"] >= 1 and totals["hits"] >= 1

@@ -1,0 +1,493 @@
+"""Tests for the simulation service: protocol, queue, admission, server.
+
+The end-to-end tests start a real :class:`ServeServer` on a loopback
+port inside the test's event loop and drive it with the blocking
+:class:`ServeClient` from a worker thread — the same topology as
+production, minus the subprocess.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import run_kernel
+from repro.runtime import ResultCache
+from repro.serve import (
+    AdmissionController,
+    JobSpec,
+    ProtocolError,
+    RemoteRunner,
+    ServeClient,
+    ServeError,
+    ServeQueue,
+    ServeServer,
+    ServerMetrics,
+    parse_address,
+)
+from repro.serve import protocol
+from repro.serve.queue import Ticket
+from repro.uarch import SimStats
+from repro.uarch.config import ProcessorConfig, ci
+from repro.uarch.config import config_from_dict, config_to_dict
+
+SCALE = 0.1
+SEED = 1
+
+
+# -- protocol ---------------------------------------------------------------
+
+class TestProtocol:
+    def test_jobspec_roundtrip(self):
+        spec = JobSpec(kernel="gzip", scale=0.25, seed=3,
+                       cfg=ci(2, 256), policy="vect",
+                       priority="interactive", client="t")
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_config_dict_roundtrip(self):
+        cfg = ci(2, 256, replicas=8)
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_config_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="no_such_knob"):
+            config_from_dict({"no_such_knob": 1})
+
+    def test_jobspec_rejects_bad_priority(self):
+        with pytest.raises(ProtocolError, match="priority"):
+            JobSpec.from_dict({"kernel": "gzip", "priority": "turbo"})
+
+    def test_jobspec_rejects_unknown_policy_at_parse(self):
+        with pytest.raises(ProtocolError):
+            JobSpec.from_dict({"kernel": "gzip", "policy": "nope"})
+
+    def test_submit_body_requires_jobs(self):
+        with pytest.raises(ProtocolError, match="jobs"):
+            protocol.parse_submit_body({"v": protocol.PROTOCOL_VERSION})
+
+    def test_version_check(self):
+        with pytest.raises(ProtocolError, match="version"):
+            protocol.check_version({"v": 999})
+        protocol.check_version({})   # absent version = current
+
+    def test_error_info_failed_result_bridge(self):
+        from repro.runtime import FailedResult
+        fr = FailedResult("gzip", 0.1, 1, error="boom\nlast line",
+                          phase="timeout", attempts=3)
+        err = protocol.ErrorInfo.from_failed_result(fr)
+        assert err.kind == "failed"
+        assert err.phase == "timeout"
+        back = err.to_failed_result("gzip", 0.1, 1)
+        assert back.failed and back.phase == "timeout"
+        assert back.attempts == 3
+
+    def test_parse_address(self):
+        assert parse_address("example:99") == ("example", 99)
+        assert parse_address("http://h:1/") == ("h", 1)
+        assert parse_address("h") == ("h", protocol.DEFAULT_PORT)
+        with pytest.raises(ServeError):
+            parse_address("h:notaport")
+
+
+# -- queue ------------------------------------------------------------------
+
+def _ticket(key, priority="sweep", client="c", kernel="gzip"):
+    spec = JobSpec(kernel=kernel, scale=SCALE, seed=SEED,
+                   priority=priority, client=client)
+    return Ticket(spec, key, now=0.0)
+
+
+class TestServeQueue:
+    def test_coalesce_attaches_to_existing_entry(self):
+        q = ServeQueue()
+        first = _ticket("k1")
+        assert q.coalesce(first) is None
+        q.push(first)
+        twin = _ticket("k1")
+        entry = q.coalesce(twin)
+        assert entry is not None and len(entry.tickets) == 2
+        assert twin.coalesced and q.depth == 1
+
+    def test_coalesce_onto_running_entry(self):
+        q = ServeQueue()
+        q.push(_ticket("k1"))
+        [entry] = q.pop_batch(8)
+        assert entry.state == protocol.RUNNING
+        twin = _ticket("k1")
+        assert q.coalesce(twin) is entry
+        assert twin.state == protocol.RUNNING
+
+    def test_interactive_twin_upgrades_queued_sweep(self):
+        q = ServeQueue()
+        q.push(_ticket("k1", priority="sweep"))
+        q.push(_ticket("k2", priority="sweep"))
+        entry = q.coalesce(_ticket("k1", priority="interactive"))
+        assert entry.priority == "interactive"
+        batch = q.pop_batch(1)
+        assert batch[0] is entry           # jumped ahead of k2
+
+    def test_priority_lane_order_and_fairness(self):
+        q = ServeQueue()
+        q.push(_ticket("s1", client="a"))
+        q.push(_ticket("s2", client="a"))
+        q.push(_ticket("s3", client="b"))
+        q.push(_ticket("i1", priority="interactive", client="z"))
+        keys = [e.key for e in q.pop_batch(8)]
+        # interactive first; sweep lane round-robins a, b before a again
+        assert keys == ["i1", "s1", "s3", "s2"]
+        assert q.depth == 0 and q.inflight == 4
+
+    def test_shed_newest_sweep(self):
+        q = ServeQueue()
+        q.push(_ticket("old"))
+        q.push(_ticket("new"))
+        victim = q.shed_newest_sweep()
+        assert victim.key == "new"
+        assert "new" not in q.entries and q.depth == 1
+        assert q.shed_newest_sweep().key == "old"
+        assert q.shed_newest_sweep() is None
+
+    def test_cancel_only_queued(self):
+        q = ServeQueue()
+        t = _ticket("k1")
+        q.push(t)
+        twin = _ticket("k1")
+        q.coalesce(twin)
+        assert q.cancel(twin)              # sibling keeps the entry
+        assert "k1" in q.entries
+        assert q.cancel(t)                 # last ticket removes it
+        assert "k1" not in q.entries and q.depth == 0
+        running = _ticket("k2")
+        q.push(running)
+        q.pop_batch(1)
+        assert not q.cancel(running)       # the pool owns it now
+
+    def test_drain_empties_every_lane(self):
+        q = ServeQueue()
+        q.push(_ticket("a"))
+        q.push(_ticket("b", priority="interactive"))
+        drained = q.drain()
+        assert {e.key for e in drained} == {"a", "b"}
+        assert q.depth == 0 and not q.entries
+
+
+# -- admission --------------------------------------------------------------
+
+class TestAdmission:
+    def test_accepts_under_depth(self):
+        ctl = AdmissionController(max_depth=2)
+        q = ServeQueue()
+        d = ctl.decide(q, JobSpec(kernel="gzip"), ServerMetrics())
+        assert d.accepted and d.shed is None
+
+    def test_rejects_sweep_when_full(self):
+        ctl = AdmissionController(max_depth=1)
+        q = ServeQueue()
+        q.push(_ticket("k1"))
+        d = ctl.decide(q, JobSpec(kernel="gzip", priority="sweep"),
+                       ServerMetrics())
+        assert not d.accepted
+        assert d.error.kind == "rejected"
+        assert d.error.retry_after > 0
+
+    def test_interactive_sheds_newest_sweep(self):
+        ctl = AdmissionController(max_depth=1)
+        q = ServeQueue()
+        q.push(_ticket("k1", priority="sweep"))
+        d = ctl.decide(q, JobSpec(kernel="gzip", priority="interactive"),
+                       ServerMetrics())
+        assert d.accepted and d.shed is not None
+        assert d.shed.key == "k1"
+
+    def test_interactive_rejected_when_no_sweep_to_shed(self):
+        ctl = AdmissionController(max_depth=1)
+        q = ServeQueue()
+        q.push(_ticket("k1", priority="interactive"))
+        d = ctl.decide(q, JobSpec(kernel="gzip", priority="interactive"),
+                       ServerMetrics())
+        assert not d.accepted and d.shed is None
+
+
+# -- metrics ----------------------------------------------------------------
+
+class TestMetrics:
+    def test_prometheus_rendering(self):
+        m = ServerMetrics()
+        m.inc("jobs_submitted", 3)
+        m.observe_latency(0.5)
+        m.observe_latency(1.5)
+        text = m.render_prometheus(
+            {"depth": 2, "inflight": 1, "queued_tickets": 2},
+            {"sims_run": 5, "disk_hits": 4, "memo_hits": 3}, False)
+        assert "repro_up 1" in text
+        assert "repro_jobs_submitted_total 3" in text
+        assert 'repro_cache_hits_total{layer="disk"} 4' in text
+        assert 'repro_cache_hits_total{layer="memo"} 3' in text
+        assert "repro_job_latency_seconds_count 2" in text
+        assert "# TYPE repro_job_latency_seconds summary" in text
+
+    def test_healthz_snapshot(self):
+        m = ServerMetrics()
+        snap = m.snapshot({"depth": 0, "inflight": 0, "queued_tickets": 0},
+                          {"sims_run": 2, "disk_hits": 1, "memo_hits": 0},
+                          draining=True, jobs=4)
+        assert snap["status"] == "draining"
+        assert snap["cache_hits"] == 1
+        assert snap["latency_seconds"]["count"] == 0
+
+    def test_quantiles(self):
+        m = ServerMetrics()
+        for x in (1.0, 2.0, 3.0, 4.0, 100.0):
+            m.observe_latency(x)
+        p50, p95 = m.latency_quantiles()
+        assert p50 == 3.0
+        assert p95 == 100.0
+
+
+# -- end-to-end -------------------------------------------------------------
+
+def _serve_fixture(tmp_path, **kw):
+    cache = ResultCache(root=str(tmp_path / "srvcache"), enabled=True)
+    return ServeServer(port=0, cache=cache, jobs=1, **kw)
+
+
+def _drive(server, fn):
+    """Start ``server``, run blocking ``fn(client)`` in a thread, drain."""
+    async def main():
+        await server.start()
+        host, port = server.address
+        client = ServeClient(f"{host}:{port}", timeout=30.0)
+        try:
+            return await asyncio.to_thread(fn, client)
+        finally:
+            server.request_shutdown()
+            await server.wait_stopped()
+    return asyncio.run(main())
+
+
+class TestServerEndToEnd:
+    def test_submit_result_matches_local_simulation(self, tmp_path):
+        cfg = ProcessorConfig()
+        expected = run_kernel("gzip", cfg, scale=SCALE, seed=SEED)
+
+        def drive(client):
+            [(status, stats)] = client.run(
+                [JobSpec(kernel="gzip", scale=SCALE, seed=SEED, cfg=cfg)])
+            assert status.state == protocol.DONE
+            return SimStats.from_dict(stats)
+
+        got = _drive(_serve_fixture(tmp_path), drive)
+        assert got == expected
+
+    def test_concurrent_clients_identical_and_run_once(self, tmp_path):
+        """Twin submissions coalesce: identical stats, one simulation."""
+        server = _serve_fixture(tmp_path)
+        specs = [JobSpec(kernel="gzip", scale=SCALE, seed=SEED),
+                 JobSpec(kernel="mcf", scale=SCALE, seed=SEED)]
+
+        def drive(client):
+            barrier = threading.Barrier(2)
+            results = [None, None]
+
+            def one(slot):
+                barrier.wait()
+                results[slot] = client.run(specs)
+
+            threads = [threading.Thread(target=one, args=(i,))
+                       for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            return results
+
+        a, b = _drive(server, drive)
+        stats_a = [SimStats.from_dict(s) for _, s in a]
+        stats_b = [SimStats.from_dict(s) for _, s in b]
+        assert stats_a == stats_b
+        # each distinct job simulated exactly once across both clients
+        assert server.executor.totals()["sims_run"] == len(specs)
+        coalesced = server.metrics.counters["jobs_coalesced"]
+        cached = (server.executor.totals()["disk_hits"]
+                  + server.executor.totals()["memo_hits"])
+        assert coalesced + cached >= len(specs)
+
+    def test_warm_resubmit_hits_memo_not_pool(self, tmp_path):
+        server = _serve_fixture(tmp_path)
+
+        def drive(client):
+            spec = JobSpec(kernel="gzip", scale=SCALE, seed=SEED)
+            client.run([spec])
+            [(status, _)] = client.run([spec])
+            return status
+
+        status = _drive(server, drive)
+        assert status.source in ("memo", "disk")
+        assert server.executor.totals()["sims_run"] == 1
+
+    def test_bad_kernel_fails_cleanly(self, tmp_path):
+        def drive(client):
+            [(status, stats)] = client.run(
+                [JobSpec(kernel="nosuchkernel", scale=SCALE)])
+            assert stats is None
+            return status
+
+        status = _drive(_serve_fixture(tmp_path), drive)
+        assert status.state == protocol.FAILED
+        assert status.error.kind == "bad-request"
+
+    def test_health_and_metrics_endpoints(self, tmp_path):
+        def drive(client):
+            client.run([JobSpec(kernel="gzip", scale=SCALE)])
+            return client.health(), client.metrics_text()
+
+        health, metrics = _drive(_serve_fixture(tmp_path), drive)
+        assert health["status"] == "ok"
+        assert health["counters"]["jobs_completed"] == 1
+        assert health["sims_run"] == 1
+        assert "repro_up 1" in metrics
+        assert "repro_sims_total 1" in metrics
+
+    def test_unknown_id_is_not_found(self, tmp_path):
+        def drive(client):
+            with pytest.raises(ServeError, match="unknown job id"):
+                client.status("jnope")
+            return True
+
+        assert _drive(_serve_fixture(tmp_path), drive)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        def drive(client):
+            status, env = client._request(
+                "POST", "/v1/submit",
+                {"v": 999, "jobs": [{"kernel": "gzip"}]})
+            return status, env
+
+        status, env = _drive(_serve_fixture(tmp_path), drive)
+        assert status == 400 and not env["ok"]
+        assert "version" in env["error"]["message"]
+
+    def test_graceful_drain_cancels_queued_jobs(self, tmp_path):
+        """Shutdown with queued work: queued tickets go cancelled, the
+        daemon drains without orphaned state."""
+        server = _serve_fixture(tmp_path)
+
+        async def main():
+            await server.start()
+            # Stall the dispatcher so submissions stay queued.
+            await server.dispatcher.stop()
+            host, port = server.address
+            client = ServeClient(f"{host}:{port}")
+            decisions = await asyncio.to_thread(
+                client.submit, [JobSpec(kernel="gzip", scale=SCALE)])
+            assert decisions[0]["accepted"]
+            job_id = decisions[0]["id"]
+            server.request_shutdown()
+            await server.wait_stopped()
+            ticket = server._tickets[job_id]
+            return ticket
+
+        ticket = asyncio.run(main())
+        assert ticket.state == protocol.CANCELLED
+        assert ticket.error.kind == "cancelled"
+
+    def test_backpressure_rejects_when_full(self, tmp_path):
+        server = _serve_fixture(tmp_path, queue_depth=1)
+
+        async def main():
+            await server.start()
+            await server.dispatcher.stop()   # nothing leaves the queue
+            host, port = server.address
+            client = ServeClient(f"{host}:{port}")
+
+            def drive():
+                first = client.submit(
+                    [JobSpec(kernel="gzip", scale=SCALE)])
+                second = client.submit(
+                    [JobSpec(kernel="mcf", scale=SCALE)])
+                third = client.submit(
+                    [JobSpec(kernel="vpr", scale=SCALE,
+                             priority="interactive")])
+                return first, second, third
+
+            out = await asyncio.to_thread(drive)
+            server.request_shutdown()
+            await server.wait_stopped()
+            return out
+
+        first, second, third = asyncio.run(main())
+        assert first[0]["accepted"]
+        assert not second[0]["accepted"]
+        assert second[0]["error"]["kind"] == "rejected"
+        assert second[0]["error"]["retry_after"] > 0
+        # interactive displaces the queued sweep job instead
+        assert third[0]["accepted"]
+        assert server.metrics.counters["jobs_shed"] == 1
+        assert server.metrics.counters["jobs_rejected"] == 1
+
+    def test_cancel_endpoint(self, tmp_path):
+        server = _serve_fixture(tmp_path)
+
+        async def main():
+            await server.start()
+            await server.dispatcher.stop()
+            host, port = server.address
+            client = ServeClient(f"{host}:{port}")
+
+            def drive():
+                [d] = client.submit([JobSpec(kernel="gzip", scale=SCALE)])
+                assert client.cancel(d["id"])
+                return client.status(d["id"])
+
+            st = await asyncio.to_thread(drive)
+            server.request_shutdown()
+            await server.wait_stopped()
+            return st
+
+        st = asyncio.run(main())
+        assert st.state == protocol.CANCELLED
+
+
+# -- RemoteRunner -----------------------------------------------------------
+
+class TestRemoteRunner:
+    def test_remote_runner_matches_local(self, tmp_path):
+        cfg = ProcessorConfig()
+        expected = run_kernel("mcf", cfg, scale=SCALE, seed=SEED)
+        server = _serve_fixture(tmp_path)
+
+        def drive(client):
+            runner = RemoteRunner(client.base_url, scale=SCALE, seed=SEED)
+            first = runner.run("mcf", cfg)
+            again = runner.run("mcf", cfg)     # local memo, no round trip
+            return first, again, runner
+
+        first, again, runner = _drive(server, drive)
+        assert first == expected and again == expected
+        assert runner.memo_hits == 1
+        assert runner.server_sources.get("sim") == 1
+        assert "served by" in runner.runtime_summary()
+
+    def test_remote_runner_keep_going_collects_failures(self, tmp_path):
+        def drive(client):
+            runner = RemoteRunner(client.base_url, scale=SCALE, seed=SEED,
+                                  keep_going=True)
+            out = runner.run_many([("nosuchkernel", ProcessorConfig())])
+            return out, runner
+
+        out, runner = _drive(_serve_fixture(tmp_path), drive)
+        assert getattr(out[0], "failed", False)
+        assert len(runner.failures) == 1
+
+    def test_remote_runner_raises_without_keep_going(self, tmp_path):
+        def drive(client):
+            runner = RemoteRunner(client.base_url, scale=SCALE, seed=SEED)
+            with pytest.raises(ServeError, match="nosuchkernel"):
+                runner.run("nosuchkernel", ProcessorConfig())
+            return True
+
+        assert _drive(_serve_fixture(tmp_path), drive)
+
+    def test_unreachable_server_is_a_serve_error(self):
+        runner = RemoteRunner("127.0.0.1:1", scale=SCALE, seed=SEED)
+        with pytest.raises(ServeError, match="cannot reach"):
+            runner.run("gzip", ProcessorConfig())
