@@ -29,9 +29,10 @@ resolved locally on each side, so custom components stay picklable-free.
 
 from __future__ import annotations
 
-import difflib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
+
+from ..suggest import unknown_name_message
 
 from .filters import (
     AlwaysHardFilter,
@@ -115,11 +116,7 @@ def get_policy(name: str) -> PolicySpec:
     spec = _REGISTRY.get(name)
     if spec is not None:
         return spec
-    msg = f"unknown policy {name!r}; known: {policy_names()}"
-    close = difflib.get_close_matches(name, _REGISTRY, n=3, cutoff=0.4)
-    if close:
-        msg += f" (did you mean {' or '.join(repr(c) for c in close)}?)"
-    raise ValueError(msg)
+    raise ValueError(unknown_name_message("policy", name, policy_names()))
 
 
 def policy_names() -> List[str]:

@@ -4,6 +4,7 @@ Commands
 ========
 
 ``run``      simulate one kernel (or an assembly file) under a named scheme
+``kernels``  list the workload registry (suite kernel names)
 ``policies`` list the mechanism policy registry (``--policy`` values)
 ``suite``    run all 12 kernels under one scheme and print the table
 ``figure``   regenerate one of the paper's figures (fig04 ... fig14, intext)
@@ -53,7 +54,7 @@ from .analysis import format_table, harmonic_mean
 from .isa import assemble
 from .uarch import ProcessorConfig, ci, scal, wb, with_spec_mem
 from .uarch.config import INF_REGS
-from .workloads import build_program, kernel_names
+from .workloads import UnknownWorkloadError, build_program, kernel_names
 
 SCHEMES = ("scal", "wb", "ci", "ci-iw", "vect")
 
@@ -345,13 +346,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_submit(args: argparse.Namespace) -> int:
     from .serve.client import RemoteRunner
+    from .workloads import get_workload
     cfg = make_config(args)
     kernels = kernel_names() if args.kernels in ([], ["suite"]) \
         else args.kernels
-    unknown = [k for k in kernels if k not in kernel_names()]
-    if unknown:
-        print(f"unknown kernel(s): {', '.join(unknown)}", file=sys.stderr)
-        return 2
+    for k in kernels:
+        get_workload(k)  # unknown name: did-you-mean error, exit 2
 
     def on_update(job_id, status):
         if not args.quiet:
@@ -360,12 +360,13 @@ def cmd_submit(args: argparse.Namespace) -> int:
                   f"  ({job_id})", file=sys.stderr)
 
     import os
+    from .runtime import RunSpec
     client_name = args.client or f"submit-{os.getpid()}"
     runner = RemoteRunner(args.server, scale=args.scale, seed=args.seed,
                           priority=args.priority, client_name=client_name,
                           keep_going=True, on_update=on_update)
-    stats = dict(zip(kernels,
-                     runner.run_many([(k, cfg) for k in kernels])))
+    stats = dict(zip(kernels, runner.run_many(
+        [RunSpec(k, args.scale, args.seed, cfg) for k in kernels])))
     print(_suite_table(stats, runner, cfg, args))
     return _finish_sweep(runner)
 
@@ -427,14 +428,27 @@ def cmd_profile(args: argparse.Namespace) -> int:
 def cmd_list(args: argparse.Namespace) -> int:
     from .ci import policy_names
     from .experiments import ALL_ABLATIONS, ALL_EXPERIMENTS
-    from .workloads import SUITE
+    from .workloads import all_workloads
     print("kernels:")
-    for spec in SUITE:
+    for spec in all_workloads():
         print(f"  {spec.name:9s} {spec.description} [{spec.traits}]")
     print("figures:", ", ".join(ALL_EXPERIMENTS))
     print("ablations:", ", ".join(sorted(ALL_ABLATIONS)))
     print("schemes:", ", ".join(SCHEMES))
     print("policies:", ", ".join(policy_names()))
+    return 0
+
+
+def cmd_kernels(args: argparse.Namespace) -> int:
+    from .workloads import all_workloads
+    print("registered suite kernels (run/suite/submit KERNEL values):")
+    print()
+    for spec in all_workloads():
+        scales = "/".join(f"{s:g}" for s in spec.default_scales)
+        print(f"  {spec.name:9s} {spec.category:8s} scales {scales}")
+        if args.verbose:
+            print(f"  {'':9s} {spec.description}")
+            print(f"  {'':9s} traits: {spec.traits}")
     return 0
 
 
@@ -548,6 +562,12 @@ def build_parser() -> argparse.ArgumentParser:
     pl = sub.add_parser("list", help="list kernels/figures/ablations")
     pl.set_defaults(fn=cmd_list)
 
+    pk = sub.add_parser("kernels",
+                        help="list the registered suite kernels")
+    pk.add_argument("--verbose", "-v", action="store_true",
+                    help="also show each kernel's description and traits")
+    pk.set_defaults(fn=cmd_kernels)
+
     pp2 = sub.add_parser("policies",
                          help="list registered mechanism policies")
     pp2.add_argument("--verbose", "-v", action="store_true",
@@ -646,6 +666,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     from .runtime import WorkerError
     try:
         return args.fn(args)
+    except UnknownWorkloadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("hint: 'repro kernels' lists the registered kernels",
+              file=sys.stderr)
+        return 2
     except WorkerError as exc:
         # Sweep-level failure: the aggregated report, not a traceback.
         # A SIGINT drain exits 130 like any interrupted Unix process.

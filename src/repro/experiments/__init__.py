@@ -18,6 +18,7 @@ from .common import (
     default_runner,
     reg_label,
 )
+from .sweeps import SweepResult, SweepSpec, run_sweep
 
 #: experiment id -> compute function, in the paper's presentation order
 ALL_EXPERIMENTS: Dict[str, Callable[..., Figure]] = {
@@ -62,8 +63,11 @@ __all__ = [
     "Figure",
     "REG_POINTS",
     "Runner",
+    "SweepResult",
+    "SweepSpec",
     "default_runner",
     "generate_report",
     "reg_label",
     "run_all",
+    "run_sweep",
 ]

@@ -20,26 +20,66 @@ from typing import Optional
 
 from ..uarch.config import ci, wb
 from .common import Check, Figure, Runner, default_runner
+from .sweeps import SweepSpec, run_sweep
 
 BASE = ci(ports=1, regs=512)
 BASE_WB = wb(ports=1, regs=512)
+
+SWEEP_REFINEMENTS = SweepSpec("abl-refinements", (
+    ("full", BASE),
+    ("no-recovery-repair", replace(BASE, ci_recovery_repair=False)),
+    ("no-exact-range", replace(BASE, ci_exact_range_check=False)),
+    ("no-conflict-blacklist", replace(BASE, ci_conflict_blacklist=0)),
+    ("no-daec", replace(BASE, ci_daec=False)),
+))
+
+SWEEP_MBS = SweepSpec("abl-mbs", (
+    ("mbs-on", BASE),
+    ("mbs-off", replace(BASE, ci_mbs_filter=False)),
+))
+
+SELECT_WINDOWS = (8, 16, 48, 128)
+
+SWEEP_SELECT_WINDOW = SweepSpec("abl-select-window", tuple(
+    (f"win{win}", replace(BASE, ci_select_window=win))
+    for win in SELECT_WINDOWS))
+
+HEADROOMS = (0, 16, 64, 128)
+
+SWEEP_HEADROOM = SweepSpec("abl-headroom", tuple(
+    [(f"hr{hr}", ci(ports=1, regs=192, ci_alloc_headroom=hr))
+     for hr in HEADROOMS]
+    + [("wb", wb(1, 192))]))
+
+BPRED_KINDS = ("static", "bimodal", "gshare")
+
+SWEEP_BPRED = SweepSpec("abl-bpred", tuple(
+    pair for kind in BPRED_KINDS
+    for pair in ((f"wb-{kind}", replace(BASE_WB, bpred_kind=kind)),
+                 (f"ci-{kind}", replace(BASE, bpred_kind=kind)))))
+
+FRONTEND_DEPTHS = (3, 6, 10)
+
+SWEEP_FRONTEND = SweepSpec("abl-frontend", tuple(
+    pair for depth in FRONTEND_DEPTHS
+    for pair in ((f"wb-{depth}", replace(BASE_WB, frontend_depth=depth)),
+                 (f"ci-{depth}", replace(BASE, frontend_depth=depth)))))
+
+POLICY_NAMES = ("ci", "ci-oracle-mbs", "ci-ideal-reconv", "ci-iw")
+
+SWEEP_POLICIES = SweepSpec("abl-policies", tuple(
+    (name, replace(BASE, ci_policy=name)) for name in POLICY_NAMES))
 
 
 def abl_refinements(runner: Optional[Runner] = None) -> Figure:
     """Turn off each refinement beyond the paper's sketch, one at a time."""
     runner = runner or default_runner()
-    variants = [
-        ("full", BASE),
-        ("no-recovery-repair", replace(BASE, ci_recovery_repair=False)),
-        ("no-exact-range", replace(BASE, ci_exact_range_check=False)),
-        ("no-conflict-blacklist", replace(BASE, ci_conflict_blacklist=0)),
-        ("no-daec", replace(BASE, ci_daec=False)),
-    ]
+    result = run_sweep(runner, SWEEP_REFINEMENTS)
     rows = []
     data = {}
-    for label, cfg in variants:
-        stats = runner.run_suite(cfg)
-        ipc = runner.suite_hmean_ipc(cfg)
+    for label in SWEEP_REFINEMENTS.labels():
+        stats = result.suite(label)
+        ipc = result.hmean_ipc(label)
         fails = sum(s.replica_validation_failures for s in stats.values())
         squash = sum(s.coherence_squashes for s in stats.values())
         data[label] = (ipc, fails, squash)
@@ -65,10 +105,10 @@ def abl_refinements(runner: Optional[Runner] = None) -> Figure:
 def abl_mbs(runner: Optional[Runner] = None) -> Figure:
     """The MBS filter: without it, every misprediction arms the CRP."""
     runner = runner or default_runner()
-    with_f = runner.run_suite(BASE)
-    without = runner.run_suite(replace(BASE, ci_mbs_filter=False))
+    result = run_sweep(runner, SWEEP_MBS)
     rows = []
-    for label, stats in (("mbs-on", with_f), ("mbs-off", without)):
+    for label in SWEEP_MBS.labels():
+        stats = result.suite(label)
         events = sum(s.ci_events for s in stats.values())
         ipc = len(stats) / sum(1 / s.ipc for s in stats.values())
         rows.append([label, ipc, events,
@@ -89,12 +129,12 @@ def abl_mbs(runner: Optional[Runner] = None) -> Figure:
 def abl_select_window(runner: Optional[Runner] = None) -> Figure:
     """How far past the re-convergent point selection scans."""
     runner = runner or default_runner()
+    result = run_sweep(runner, SWEEP_SELECT_WINDOW)
     rows = []
     ipcs = {}
-    for win in (8, 16, 48, 128):
-        cfg = replace(BASE, ci_select_window=win)
-        ipcs[win] = runner.suite_hmean_ipc(cfg)
-        stats = runner.run_suite(cfg)
+    for win in SELECT_WINDOWS:
+        ipcs[win] = result.hmean_ipc(f"win{win}")
+        stats = result.suite(f"win{win}")
         rows.append([win, ipcs[win],
                      sum(s.ci_selected for s in stats.values())])
     checks = [
@@ -119,16 +159,16 @@ def abl_headroom(runner: Optional[Runner] = None) -> Figure:
     files — see EXPERIMENTS.md deviation 1 — so headroom trades raw IPC
     for the paper's pressure behaviour.)"""
     runner = runner or default_runner()
+    result = run_sweep(runner, SWEEP_HEADROOM)
     rows = []
     ipcs = {}
     replicas = {}
-    for hr in (0, 16, 64, 128):
-        cfg = ci(ports=1, regs=192, ci_alloc_headroom=hr)
-        ipcs[hr] = runner.suite_hmean_ipc(cfg)
-        stats = runner.run_suite(cfg)
+    for hr in HEADROOMS:
+        ipcs[hr] = result.hmean_ipc(f"hr{hr}")
+        stats = result.suite(f"hr{hr}")
         replicas[hr] = sum(s.replicas_created for s in stats.values())
         rows.append([hr, ipcs[hr], replicas[hr]])
-    base192 = runner.suite_hmean_ipc(wb(1, 192))
+    base192 = result.hmean_ipc("wb")
     rows.append(["(wb)", base192, 0])
     checks = [
         Check("more headroom throttles replica creation monotonically",
@@ -150,11 +190,12 @@ def abl_headroom(runner: Optional[Runner] = None) -> Figure:
 def abl_bpred(runner: Optional[Runner] = None) -> Figure:
     """Mechanism benefit as a function of branch-predictor quality."""
     runner = runner or default_runner()
+    result = run_sweep(runner, SWEEP_BPRED)
     rows = []
     gains = {}
-    for kind in ("static", "bimodal", "gshare"):
-        base = runner.run_suite(replace(BASE_WB, bpred_kind=kind))
-        mech = runner.run_suite(replace(BASE, bpred_kind=kind))
+    for kind in BPRED_KINDS:
+        base = result.suite(f"wb-{kind}")
+        mech = result.suite(f"ci-{kind}")
         ipc_b = len(base) / sum(1 / s.ipc for s in base.values())
         ipc_m = len(mech) / sum(1 / s.ipc for s in mech.values())
         mr = (sum(s.mispredicts for s in base.values())
@@ -179,11 +220,12 @@ def abl_bpred(runner: Optional[Runner] = None) -> Figure:
 def abl_frontend(runner: Optional[Runner] = None) -> Figure:
     """Mechanism benefit as the front-end (refill) depth grows."""
     runner = runner or default_runner()
+    result = run_sweep(runner, SWEEP_FRONTEND)
     rows = []
     gains = {}
-    for depth in (3, 6, 10):
-        base = runner.suite_hmean_ipc(replace(BASE_WB, frontend_depth=depth))
-        mech = runner.suite_hmean_ipc(replace(BASE, frontend_depth=depth))
+    for depth in FRONTEND_DEPTHS:
+        base = result.hmean_ipc(f"wb-{depth}")
+        mech = result.hmean_ipc(f"ci-{depth}")
         gains[depth] = mech / base - 1
         rows.append([depth, base, mech, f"{gains[depth]:+.1%}"])
     checks = [
@@ -213,13 +255,13 @@ def abl_policies(runner: Optional[Runner] = None) -> Figure:
     """
     runner = runner or default_runner()
     from ..ci import get_policy
+    result = run_sweep(runner, SWEEP_POLICIES)
     rows = []
     data = {}
-    for name in ("ci", "ci-oracle-mbs", "ci-ideal-reconv", "ci-iw"):
-        spec = get_policy(name)  # validates the name against the registry
-        cfg = replace(BASE, ci_policy=spec.name)
-        stats = runner.run_suite(cfg)
-        ipc = runner.suite_hmean_ipc(cfg)
+    for name in POLICY_NAMES:
+        get_policy(name)  # validates the name against the registry
+        stats = result.suite(name)
+        ipc = result.hmean_ipc(name)
         events = sum(s.ci_events for s in stats.values())
         reused = sum(s.ci_reused for s in stats.values())
         data[name] = (ipc, events, reused)

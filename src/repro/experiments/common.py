@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import format_table, harmonic_mean
-from ..runtime import ParallelRunner, ResultCache
+from ..runtime import ParallelRunner, ResultCache, RunSpec
 from ..uarch import ProcessorConfig, SimStats
 from ..uarch.config import INF_REGS
 from ..workloads import kernel_names
@@ -105,7 +105,8 @@ class Runner(ParallelRunner):
 
     def run_suite(self, cfg: ProcessorConfig) -> Dict[str, SimStats]:
         names = kernel_names()
-        stats = self.run_many([(name, cfg) for name in names])
+        stats = self.run_many([RunSpec(name, self.scale, self.seed, cfg)
+                               for name in names])
         return dict(zip(names, stats))
 
     def suite_hmean_ipc(self, cfg: ProcessorConfig) -> float:

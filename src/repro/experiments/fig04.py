@@ -13,16 +13,21 @@ from ..analysis import harmonic_mean
 from ..uarch.config import ci
 from ..workloads import kernel_names
 from .common import Check, Figure, Runner, default_runner
+from .sweeps import SweepSpec, run_sweep
 
 SLOT_COUNTS = (1, 2, 4)
 BASE = ci(ports=2, regs=512)
 
+SWEEP = SweepSpec("fig04", tuple(
+    (f"{n}PC", replace(BASE, strided_pcs_per_entry=n))
+    for n in SLOT_COUNTS))
+
 
 def compute(runner: Optional[Runner] = None) -> Figure:
     runner = runner or default_runner()
-    cfgs = {n: replace(BASE, strided_pcs_per_entry=n) for n in SLOT_COUNTS}
+    result = run_sweep(runner, SWEEP)
     per_kernel = {
-        name: {n: runner.run(name, cfg).ipc for n, cfg in cfgs.items()}
+        name: {n: result.ipc(f"{n}PC", name) for n in SLOT_COUNTS}
         for name in kernel_names()
     }
     rows = [[name] + [per_kernel[name][n] for n in SLOT_COUNTS]

@@ -12,6 +12,7 @@ from typing import Optional
 from ..uarch.config import ci, scal, wb
 from ..workloads import kernel_names
 from .common import Check, Figure, Runner, default_runner
+from .sweeps import SweepSpec, run_sweep
 
 CONFIGS = [
     ("scal1p", scal(1, 512)),
@@ -22,10 +23,12 @@ CONFIGS = [
     ("ci2p", ci(2, 512)),
 ]
 
+SWEEP = SweepSpec("fig08", tuple(CONFIGS))
+
 
 def compute(runner: Optional[Runner] = None) -> Figure:
     runner = runner or default_runner()
-    per_cfg = {label: runner.run_suite(cfg) for label, cfg in CONFIGS}
+    per_cfg = run_sweep(runner, SWEEP).stats
     rows = []
     for name in kernel_names():
         rows.append([name] + [per_cfg[label][name].l1d_accesses

@@ -19,6 +19,7 @@ from .common import (
     monotone_nondecreasing,
     reg_label,
 )
+from .sweeps import SweepSpec, run_sweep
 
 SERIES = [
     ("scal1p", lambda regs: scal(1, regs)),
@@ -29,13 +30,18 @@ SERIES = [
     ("ci2p", lambda regs: ci(2, regs)),
 ]
 
+SWEEP = SweepSpec("fig09", tuple(
+    (f"{label}@{regs}", make(regs))
+    for label, make in SERIES for regs in REG_POINTS))
+
 
 def compute(runner: Optional[Runner] = None) -> Figure:
     runner = runner or default_runner()
-    data: Dict[str, Dict[int, float]] = {}
-    for label, make in SERIES:
-        data[label] = {regs: runner.suite_hmean_ipc(make(regs))
-                       for regs in REG_POINTS}
+    result = run_sweep(runner, SWEEP)
+    data: Dict[str, Dict[int, float]] = {
+        label: {regs: result.hmean_ipc(f"{label}@{regs}")
+                for regs in REG_POINTS}
+        for label, _ in SERIES}
     rows = [[reg_label(regs)] + [data[label][regs] for label, _ in SERIES]
             for regs in REG_POINTS]
 

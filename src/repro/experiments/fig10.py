@@ -13,6 +13,7 @@ from ..analysis import harmonic_mean
 from ..uarch.config import ci, scal, wb
 from ..workloads import kernel_names
 from .common import Check, Figure, Runner, default_runner
+from .sweeps import SweepSpec, run_sweep
 
 CONFIGS = [
     ("scal", scal(1, 512)),
@@ -21,10 +22,12 @@ CONFIGS = [
     ("ci", ci(1, 512)),
 ]
 
+SWEEP = SweepSpec("fig10", tuple(CONFIGS))
+
 
 def compute(runner: Optional[Runner] = None) -> Figure:
     runner = runner or default_runner()
-    per_cfg = {label: runner.run_suite(cfg) for label, cfg in CONFIGS}
+    per_cfg = run_sweep(runner, SWEEP).stats
     rows = []
     for name in kernel_names():
         rows.append([name] + [per_cfg[label][name].ipc

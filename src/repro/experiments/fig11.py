@@ -11,18 +11,26 @@ from typing import Dict, Optional
 
 from ..uarch.config import ci, scal, wb
 from .common import Check, Figure, REG_POINTS, Runner, default_runner, reg_label
+from .sweeps import SweepSpec, run_sweep
 
 REPLICA_COUNTS = (1, 2, 4, 8)
+
+SWEEP = SweepSpec("fig11", tuple(
+    [(f"sc@{regs}", scal(1, regs)) for regs in REG_POINTS]
+    + [(f"wb@{regs}", wb(1, regs)) for regs in REG_POINTS]
+    + [(f"{n}rep@{regs}", ci(1, regs, replicas=n))
+       for n in REPLICA_COUNTS for regs in REG_POINTS]))
 
 
 def compute(runner: Optional[Runner] = None) -> Figure:
     runner = runner or default_runner()
+    result = run_sweep(runner, SWEEP)
     data: Dict[str, Dict[int, float]] = {"sc": {}, "wb": {}}
     for regs in REG_POINTS:
-        data["sc"][regs] = runner.suite_hmean_ipc(scal(1, regs))
-        data["wb"][regs] = runner.suite_hmean_ipc(wb(1, regs))
+        data["sc"][regs] = result.hmean_ipc(f"sc@{regs}")
+        data["wb"][regs] = result.hmean_ipc(f"wb@{regs}")
     for n in REPLICA_COUNTS:
-        data[f"{n}rep"] = {regs: runner.suite_hmean_ipc(ci(1, regs, replicas=n))
+        data[f"{n}rep"] = {regs: result.hmean_ipc(f"{n}rep@{regs}")
                            for regs in REG_POINTS}
     labels = ["sc", "wb"] + [f"{n}rep" for n in REPLICA_COUNTS]
     rows = [[reg_label(regs)] + [data[l][regs] for l in labels]

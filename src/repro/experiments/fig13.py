@@ -12,22 +12,26 @@ from typing import Dict, Optional
 
 from ..uarch.config import INF_REGS, ci, scal, wb, with_spec_mem
 from .common import Check, Figure, REG_POINTS, Runner, default_runner, reg_label
+from .sweeps import SweepSpec, run_sweep
 
 SPEC_SIZES = (128, 256, 512, 768)
+
+SWEEP = SweepSpec("fig13", tuple(
+    [(f"scal@{regs}", scal(1, regs)) for regs in REG_POINTS]
+    + [(f"wb@{regs}", wb(1, regs)) for regs in REG_POINTS]
+    + [(f"ci@{regs}", ci(1, regs)) for regs in REG_POINTS]
+    + [(f"ci-h-{size}@{regs}", with_spec_mem(ci(1, regs), size))
+       for size in SPEC_SIZES for regs in REG_POINTS]))
 
 
 def compute(runner: Optional[Runner] = None) -> Figure:
     runner = runner or default_runner()
-    data: Dict[str, Dict[int, float]] = {"scal": {}, "wb": {}, "ci": {}}
-    for regs in REG_POINTS:
-        data["scal"][regs] = runner.suite_hmean_ipc(scal(1, regs))
-        data["wb"][regs] = runner.suite_hmean_ipc(wb(1, regs))
-        data["ci"][regs] = runner.suite_hmean_ipc(ci(1, regs))
-    for size in SPEC_SIZES:
-        data[f"ci-h-{size}"] = {
-            regs: runner.suite_hmean_ipc(with_spec_mem(ci(1, regs), size))
-            for regs in REG_POINTS
-        }
+    result = run_sweep(runner, SWEEP)
+    data: Dict[str, Dict[int, float]] = {
+        label: {regs: result.hmean_ipc(f"{label}@{regs}")
+                for regs in REG_POINTS}
+        for label in ["scal", "wb", "ci"]
+        + [f"ci-h-{s}" for s in SPEC_SIZES]}
     labels = ["scal", "wb", "ci"] + [f"ci-h-{s}" for s in SPEC_SIZES]
     rows = [[reg_label(regs)] + [data[l][regs] for l in labels]
             for regs in REG_POINTS]

@@ -12,14 +12,22 @@ from typing import Dict, Optional
 from ..uarch.config import ci
 from ..workloads import kernel_names
 from .common import Check, Figure, REG_POINTS, Runner, default_runner, reg_label
+from .sweeps import SweepSpec, run_sweep
+
+SWEEP = SweepSpec("fig14", tuple(
+    [(f"ci@{regs}", ci(2, regs)) for regs in REG_POINTS]
+    + [(f"vect@{regs}", ci(2, regs, policy="vect")) for regs in REG_POINTS]
+    + [(f"waste-{policy}", ci(2, 512, policy=policy))
+       for policy in ("ci", "vect")]))
 
 
 def compute(runner: Optional[Runner] = None) -> Figure:
     runner = runner or default_runner()
+    result = run_sweep(runner, SWEEP)
     data: Dict[str, Dict[int, float]] = {
-        "ci": {regs: runner.suite_hmean_ipc(ci(2, regs))
+        "ci": {regs: result.hmean_ipc(f"ci@{regs}")
                for regs in REG_POINTS},
-        "vect": {regs: runner.suite_hmean_ipc(ci(2, regs, policy="vect"))
+        "vect": {regs: result.hmean_ipc(f"vect@{regs}")
                  for regs in REG_POINTS},
     }
     rows = [[reg_label(regs), data["ci"][regs], data["vect"][regs]]
@@ -28,7 +36,7 @@ def compute(runner: Optional[Runner] = None) -> Figure:
     # Wasted-speculation comparison at 512 registers (in-text numbers).
     waste = {}
     for policy in ("ci", "vect"):
-        stats = runner.run_suite(ci(2, 512, policy=policy))
+        stats = result.suite(f"waste-{policy}")
         waste[policy] = sum(s.wrong_spec_activity for s in stats.values()) \
             / len(kernel_names())
 

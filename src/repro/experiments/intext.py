@@ -16,21 +16,30 @@ from typing import Optional
 from ..uarch.config import INF_REGS, ci
 from ..workloads import kernel_names
 from .common import Check, Figure, Runner, default_runner
+from .sweeps import SweepSpec, run_sweep
+
+CFG_INF = ci(1, INF_REGS)
+
+SWEEP = SweepSpec("intext", (
+    ("daec-on", CFG_INF),
+    ("daec-off", replace(CFG_INF, ci_daec=False)),
+    ("ci", ci(1, 512)),
+    ("vect", ci(1, 512, policy="vect")),
+))
 
 
 def compute(runner: Optional[Runner] = None) -> Figure:
     runner = runner or default_runner()
     n = len(kernel_names())
 
-    cfg_inf = ci(1, INF_REGS)
-    with_daec = runner.run_suite(cfg_inf)
-    without_daec = runner.run_suite(replace(cfg_inf, ci_daec=False))
+    result = run_sweep(runner, SWEEP)
+    with_daec = result.suite("daec-on")
+    without_daec = result.suite("daec-off")
     regs_with = sum(s.avg_regs_in_use for s in with_daec.values()) / n
     regs_without = sum(s.avg_regs_in_use for s in without_daec.values()) / n
 
-    cfg512 = ci(1, 512)
-    ci_stats = runner.run_suite(cfg512)
-    vect_stats = runner.run_suite(ci(1, 512, policy="vect"))
+    ci_stats = result.suite("ci")
+    vect_stats = result.suite("vect")
     spcs = sum(s.avg_stridedpcs for s in ci_stats.values()) / n
     stores = sum(s.stores_committed for s in ci_stats.values())
     conflicts = sum(s.coherence_squashes for s in ci_stats.values())

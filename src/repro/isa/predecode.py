@@ -19,14 +19,13 @@ predecode-layer changes invalidate cleanly.
 
 from __future__ import annotations
 
-import hashlib
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .program import Program
 
 #: bump when the image layout or encoding semantics change — part of the
-#: result-cache key (see ``repro.runtime.cache.job_key``)
+#: result-cache key (see ``repro.runtime.keys.job_key``)
 PREDECODE_VERSION = 1
 
 # -- structural flag bits (``ProgramImage.flags``) -----------------------
@@ -134,19 +133,13 @@ class ProgramImage:
     def digest(self) -> str:
         """SHA-256 over the image encoding (plus ``PREDECODE_VERSION``).
 
-        The evaluation callables are excluded (they are derived from the
-        opcode, which the kind/flag/fu arrays pin down together with the
-        operand encoding).
+        Hashing is owned by :mod:`repro.runtime.keys` (imported lazily —
+        the runtime layer sits above the ISA layer); the result is
+        cached here since digests feed every cache-key derivation.
         """
         if self._digest is None:
-            h = hashlib.sha256()
-            h.update(f"predecode={PREDECODE_VERSION}\n".encode())
-            for pc in range(self.n):
-                h.update(repr((self.kind[pc], self.flags[pc], self.ctrl[pc],
-                               self.rd[pc], self.rs1[pc], self.rs2[pc],
-                               self.imm[pc], self.target[pc], self.srcs[pc],
-                               int(self.fu_class[pc]))).encode())
-            self._digest = h.hexdigest()
+            from ..runtime.keys import digest_image
+            self._digest = digest_image(self)
         return self._digest
 
 

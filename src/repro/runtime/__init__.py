@@ -1,16 +1,21 @@
-"""Simulation runtime: parallel execution, result caching, profiling.
+"""Simulation runtime: the run vocabulary, parallel execution, caching.
 
-Three cooperating pieces (see DESIGN.md):
+Four cooperating pieces (see DESIGN.md §11):
 
-* :class:`ParallelRunner` / :func:`execute_jobs` — fan (kernel, config)
-  simulation jobs out over a process pool, with in-process fallback,
-  worker-side exception capture, a stall watchdog with retry, and a
-  ``keep_going`` mode that degrades failures into typed
-  :class:`FailedResult` holes instead of aborting the sweep;
+* :class:`RunSpec` — the canonical, frozen description of one logical
+  simulation (kernel, scale, seed, config, policy/fault/observer
+  riders); every layer — CLI, experiments, pool, cache, serve — speaks
+  it, and :mod:`repro.runtime.keys` derives its single
+  content-addressed identity (:func:`run_key` / :func:`job_key`);
+* :class:`ParallelRunner` / :func:`execute_jobs` — fan runs out over a
+  process pool, with in-process fallback, worker-side exception
+  capture, a stall watchdog with retry, and a ``keep_going`` mode that
+  degrades failures into typed :class:`FailedResult` holes instead of
+  aborting the sweep;
 * :class:`ResultCache` — persistent content-addressed store of
-  ``SimStats`` keyed by program hash + configuration + scale/seed +
-  schema version, with atomic concurrent-safe writes, per-entry
-  checksums and quarantine of corrupt files;
+  ``SimStats`` under those canonical keys, with atomic concurrent-safe
+  writes, per-entry checksums, quarantine of corrupt files and
+  run-spec provenance in the envelope;
 * :func:`profile_kernel` — cProfile harness over one simulation for
   hot-loop work.
 
@@ -29,6 +34,7 @@ from .cache import (
     job_key,
     program_fingerprint,
 )
+from .keys import cached_program, image_digest, run_key, stats_digest
 from .parallel import (
     FailedResult,
     ParallelRunner,
@@ -43,6 +49,7 @@ from .parallel import (
     pool_restart_count,
 )
 from .profiling import profile_kernel
+from .spec import SPEC_FIELDS, RunSpec
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -50,10 +57,13 @@ __all__ = [
     "FailedResult",
     "ParallelRunner",
     "ResultCache",
+    "RunSpec",
+    "SPEC_FIELDS",
     "SimJob",
     "WorkerError",
     "aggregate_failure_report",
     "cache_enabled",
+    "cached_program",
     "config_token",
     "default_cache_dir",
     "default_jobs",
@@ -61,8 +71,11 @@ __all__ = [
     "default_timeout",
     "execute_jobs",
     "execute_jobs_observed",
+    "image_digest",
     "job_key",
     "pool_restart_count",
     "profile_kernel",
     "program_fingerprint",
+    "run_key",
+    "stats_digest",
 ]

@@ -1,14 +1,10 @@
 """Persistent, content-addressed simulation-result cache.
 
-One simulation = one JSON file under the cache root, named by a SHA-256
-over everything that determines its outcome:
-
-* a cache-schema version (bump ``CACHE_SCHEMA`` whenever the *timing
-  model* changes behaviour — workload and configuration changes are
-  captured by the key itself),
-* the program fingerprint (instruction stream + initial data image),
-* the full ``ProcessorConfig`` (every field, nested caches included),
-* the workload ``scale`` and ``seed``.
+One simulation = one JSON file under the cache root, named by the
+canonical run key (:func:`repro.runtime.keys.job_key` — schema version,
+program fingerprint, predecode image digest, full config, scale and
+seed).  Key *derivation* lives entirely in :mod:`repro.runtime.keys`;
+this module only stores and audits envelopes under those names.
 
 Layout: ``<root>/<first-2-hex>/<key>.json`` — two-level sharding keeps
 directory listings small on big sweeps.  Writes go to a temporary file
@@ -25,6 +21,12 @@ bytes survive for inspection.  An entry with a different ``schema`` is
 a plain miss — valid data from another version, not corruption.
 ``repro cache verify`` (:meth:`ResultCache.verify`) audits the whole
 store on demand.
+
+Provenance: when the writer knows the :class:`~repro.runtime.spec.RunSpec`
+that produced a result, :meth:`ResultCache.put` records ``spec.to_dict()``
+in the envelope.  The spec is *descriptive* — it is excluded from the
+integrity checksum (older entries without it stay valid) and never
+consulted on reads; ``cache verify`` reports how many entries carry it.
 
 Accounting: each instance tallies hits, misses and (for the serving
 layer) coalesced requests in memory; :meth:`ResultCache.flush_counters`
@@ -44,19 +46,22 @@ Environment knobs:
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
 import json
 import os
 import tempfile
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from ..isa import Program
-from ..uarch import ProcessorConfig, SimStats
+from ..uarch import SimStats
+from .keys import (  # noqa: F401  (re-exported: historical home of the keys)
+    CACHE_SCHEMA,
+    config_token,
+    job_key,
+    program_fingerprint,
+    stats_digest as _stats_digest,
+)
 
-#: bump when the timing model's behaviour changes (invalidates all entries);
-#: schema 2 introduced the checksummed envelope
-CACHE_SCHEMA = 2
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .spec import RunSpec
 
 #: subdirectory (under the cache root) where corrupt entries are parked
 QUARANTINE_DIR = "quarantine"
@@ -82,56 +87,6 @@ def cache_enabled() -> bool:
     if os.environ.get("REPRO_FAULTS"):
         return False
     return os.environ.get("REPRO_CACHE", "1").lower() not in ("0", "off", "no")
-
-
-def config_token(cfg: ProcessorConfig) -> str:
-    """Canonical string form of a configuration (every field, sorted)."""
-    return json.dumps(dataclasses.asdict(cfg), sort_keys=True, default=str)
-
-
-def program_fingerprint(program: Program) -> str:
-    """SHA-256 over the instruction stream and the initial data image.
-
-    Cached on the program object: figures re-run the same kernels under
-    dozens of configurations.
-    """
-    cached = getattr(program, "_fingerprint", None)
-    if cached is not None:
-        return cached
-    h = hashlib.sha256()
-    for instr in program.code:
-        h.update(repr((int(instr.op), instr.rd, instr.rs1, instr.rs2,
-                       instr.imm, instr.target, instr.pc)).encode())
-    for addr in sorted(program.data_init):
-        h.update(repr((addr, program.data_init[addr])).encode())
-    digest = h.hexdigest()
-    program._fingerprint = digest
-    return digest
-
-
-def job_key(program: Program, cfg: ProcessorConfig,
-            scale: float, seed: int) -> str:
-    """Content-addressed cache key for one (program, config) simulation.
-
-    Includes the decode-once image digest: the simulator executes the
-    *predecoded* program, so a predecoding change (a new structural
-    flag, a different operand encoding) invalidates cached results even
-    when the instruction stream itself is unchanged.
-    """
-    from ..isa.predecode import image_digest
-    h = hashlib.sha256()
-    h.update(f"schema={CACHE_SCHEMA}\n".encode())
-    h.update(program_fingerprint(program).encode())
-    h.update(f"image={image_digest(program)}\n".encode())
-    h.update(config_token(cfg).encode())
-    h.update(f"\nscale={scale!r} seed={seed!r}".encode())
-    return h.hexdigest()
-
-
-def _stats_digest(stats_dict: dict) -> str:
-    """Checksum over the canonical JSON form of a stats payload."""
-    canonical = json.dumps(stats_dict, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 class CacheEntryError(ValueError):
@@ -225,14 +180,23 @@ class ResultCache:
         self.hits += 1
         return result
 
-    def put(self, key: str, stats: SimStats) -> None:
-        """Store ``stats`` under ``key`` (write-to-temp + atomic rename)."""
+    def put(self, key: str, stats: SimStats,
+            spec: Optional["RunSpec"] = None) -> None:
+        """Store ``stats`` under ``key`` (write-to-temp + atomic rename).
+
+        When the producing :class:`RunSpec` is known it is recorded in
+        the envelope for provenance — outside the integrity checksum,
+        so spec-less entries from older writers verify unchanged.
+        """
         if not self.enabled:
             return
         stats_dict = stats.to_dict()
-        envelope = {"schema": CACHE_SCHEMA,
-                    "sha256": _stats_digest(stats_dict),
-                    "stats": stats_dict}
+        envelope: Dict[str, object] = {
+            "schema": CACHE_SCHEMA,
+            "sha256": _stats_digest(stats_dict),
+            "stats": stats_dict}
+        if spec is not None:
+            envelope["spec"] = spec.to_dict()
         path = self.path_for(key)
         shard = os.path.dirname(path)
         try:
@@ -312,19 +276,23 @@ class ResultCache:
         Returns counters plus the list of bad paths; with ``quarantine``
         (the default) bad entries are moved aside like a failing read
         would.  Other-schema entries count as ``stale`` and are left in
-        place.
+        place.  ``with_spec`` counts the valid entries carrying run-spec
+        provenance in their envelope.
         """
-        ok = stale = 0
+        ok = stale = with_spec = 0
         bad: List[Tuple[str, str]] = []
         for path in self._entries():
             try:
                 with open(path) as fh:
-                    stats = _decode_entry(fh.read())
+                    text = fh.read()
+                stats = _decode_entry(text)
                 if stats is None:
                     stale += 1
                     continue
                 SimStats.from_dict(stats)
                 ok += 1
+                if "spec" in json.loads(text):
+                    with_spec += 1
             except CacheEntryError as exc:
                 bad.append((path, str(exc)))
             except (OSError, ValueError, TypeError, KeyError) as exc:
@@ -334,7 +302,7 @@ class ResultCache:
             for path, reason in bad:
                 self._quarantine(path, reason)
         return {"root": self.root, "ok": ok, "stale": stale,
-                "corrupt": len(bad),
+                "with_spec": with_spec, "corrupt": len(bad),
                 "bad": [{"path": p, "reason": r} for p, r in bad]}
 
     def info(self) -> Dict[str, object]:

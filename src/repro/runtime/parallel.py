@@ -41,42 +41,23 @@ import os
 import sys
 import time
 import traceback
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..uarch import ProcessorConfig, SimStats
-from .cache import ResultCache, job_key
+from .cache import ResultCache
+from .keys import cached_program, run_key
+from .spec import RunSpec
 
-
-@dataclass(frozen=True)
-class SimJob:
-    """One simulation work item: a suite kernel under one configuration.
-
-    ``observe`` is an observer spec string (``repro.observe.make_observer``
-    syntax); the worker builds the observer locally and ships its
-    ``export()`` payload back with the stats.
-
-    ``policy`` optionally overrides ``cfg.ci_policy`` with a registry
-    policy *name* — a plain string, so the job stays picklable under any
-    start method and the worker resolves the spec against its own
-    registry.  The override is part of the resolved config, so the disk
-    cache keys on it like any other config field.
-    """
-
-    kernel: str
-    scale: float
-    seed: int
-    cfg: ProcessorConfig
-    observe: Optional[str] = None
-    policy: Optional[str] = None
-
-    def resolved_cfg(self) -> ProcessorConfig:
-        """The effective configuration (with any policy override applied)."""
-        if self.policy is None:
-            return self.cfg
-        from dataclasses import replace
-        return replace(self.cfg, ci_policy=self.policy)
+#: One simulation work item IS a :class:`~repro.runtime.spec.RunSpec` —
+#: the pool executes the canonical run vocabulary directly (a frozen
+#: dataclass of plain strings/numbers/config, so it stays picklable
+#: under any start method; workers re-resolve policy and observer names
+#: against their own registries).  The alias preserves the historical
+#: name used throughout tests and call sites.
+SimJob = RunSpec
 
 
 class WorkerError(RuntimeError):
@@ -203,42 +184,24 @@ def default_retries() -> int:
     return 1
 
 
-#: per-process program memo: (kernel, scale, seed) -> built + predecoded
-#: Program.  Lives at module level so every job a worker executes for the
-#: same program point shares one build and one decode-once image; bounded
-#: so a long-lived worker sweeping many kernels cannot grow without limit.
-_PROGRAM_MEMO_CAP = 16
-_program_memo: Dict[Tuple[str, float, int], object] = {}
-
-
-def _memo_program(kernel: str, scale: float, seed: int):
-    """Build (or reuse) the program for one (kernel, scale, seed) point."""
-    key = (kernel, scale, seed)
-    prog = _program_memo.get(key)
-    if prog is None:
-        from ..isa.predecode import predecode
-        from ..workloads import build_program
-        prog = build_program(kernel, scale, seed)
-        predecode(prog)  # decode once; every config run shares the image
-        while len(_program_memo) >= _PROGRAM_MEMO_CAP:
-            _program_memo.pop(next(iter(_program_memo)))
-        _program_memo[key] = prog
-    return prog
-
-
 def _run_job(job: SimJob) -> Tuple[Optional[dict], Optional[dict],
                                    Optional[str]]:
     """Worker entry point: returns (stats dict, observer payload, error).
 
     Module-level so it pickles under both fork and spawn start methods;
     imports stay inside so a spawned worker re-resolves the package.
+    The spec's riders are honoured here: the observer is built from
+    ``job.observe`` and the fault plan parsed from ``job.faults`` (a
+    fault-free spec leaves ``faults=None``, preserving the
+    ``REPRO_FAULTS`` environment fallback inside ``run_program``).
     """
     try:
         from .. import run_program
         from ..observe import make_observer
-        prog = _memo_program(job.kernel, job.scale, job.seed)
+        prog = cached_program(job.kernel, job.scale, job.seed)
         observer = make_observer(job.observe)
-        stats = run_program(prog, job.resolved_cfg(), observer=observer)
+        stats = run_program(prog, job.resolved_cfg(), observer=observer,
+                            faults=job.faults)
         payload = None if observer is None else observer.export()
         return stats.to_dict(), payload, None
     except Exception:
@@ -532,13 +495,13 @@ class ParallelRunner:
         self.observations: List[Tuple[str, dict]] = []
         #: FailedResult placeholders collected under ``keep_going``
         self.failures: List[FailedResult] = []
-        #: where each resolved (kernel, cfg) point last came from:
-        #: ``memo`` / ``disk`` / ``sim`` / ``failed`` — the serving layer
-        #: uses this for per-request attribution
-        self.sources: Dict[tuple, str] = {}
-        self._memo: Dict[tuple, SimStats] = {}
-        self._programs: Dict[tuple, object] = {}
-        self._disk_keys: Dict[tuple, str] = {}
+        #: where each resolved run last came from: ``memo`` / ``disk`` /
+        #: ``sim`` / ``failed``.  Each run is recorded under every name
+        #: it answers to — the ``(kernel, cfg)`` point, the spec itself
+        #: and (when derivable) the canonical cache key — so local
+        #: callers and the serving layer share one attribution table.
+        self.sources: Dict[object, str] = {}
+        self._memo: Dict[str, SimStats] = {}
         self.memo_hits = 0
         self.disk_hits = 0
         self.sims_run = 0
@@ -547,86 +510,122 @@ class ParallelRunner:
     def program(self, name: str):
         """Build (once) the kernel at this runner's scale and seed.
 
-        Memoised on (name, scale, seed) — the full identity of a built
-        program — so cache-key fingerprinting, in-process simulation and
-        reporting all share one build and one predecoded image.
+        Delegates to the process-wide memo in :mod:`repro.runtime.keys`,
+        so cache-key fingerprinting, in-process simulation and reporting
+        all share one build and one predecoded image.
         """
-        key = (name, self.scale, self.seed)
-        prog = self._programs.get(key)
-        if prog is None:
-            from ..isa.predecode import predecode
-            from ..workloads import build_program
-            prog = build_program(name, self.scale, self.seed)
-            predecode(prog)
-            self._programs[key] = prog
-        return prog
+        return cached_program(name, self.scale, self.seed)
 
-    def _key(self, name: str, cfg: ProcessorConfig) -> str:
-        memo_key = (name, cfg)
-        key = self._disk_keys.get(memo_key)
-        if key is None:
-            key = self._disk_keys[memo_key] = job_key(
-                self.program(name), cfg, self.scale, self.seed)
-        return key
+    def _as_spec(self, point) -> RunSpec:
+        """Coerce one work item to a :class:`RunSpec`.
+
+        Accepts a spec directly, or the historical ``(kernel, cfg)``
+        tuple (deprecated — lifted to a spec at this runner's scale and
+        seed).  The runner-level ``observe`` default applies to specs
+        that do not carry their own.
+        """
+        if isinstance(point, RunSpec):
+            spec = point
+        else:
+            name, cfg = point
+            warnings.warn(
+                "passing (kernel, cfg) tuples to Runner.run_many is "
+                "deprecated; pass RunSpec instances",
+                DeprecationWarning, stacklevel=3)
+            spec = RunSpec(name, self.scale, self.seed, cfg)
+        if self.observe is not None and spec.observe is None:
+            spec = replace(spec, observe=self.observe)
+        return spec
+
+    def _spec_key(self, spec: RunSpec) -> Optional[str]:
+        """The canonical cache key, or None when the program won't build.
+
+        An unbuildable kernel is not an error here: the job is handed to
+        the worker, which fails it with a full traceback so the error
+        reports like any other job failure.
+        """
+        try:
+            return run_key(spec)
+        except Exception:
+            return None
+
+    def _note_source(self, ident: object, point, spec: RunSpec,
+                     src: str) -> None:
+        self.sources[(spec.kernel, spec.cfg)] = src
+        self.sources[spec] = src
+        if isinstance(ident, str):
+            self.sources[ident] = src
 
     # -- execution -------------------------------------------------------
     def run(self, name: str, cfg: ProcessorConfig) -> SimStats:
-        return self.run_many([(name, cfg)])[0]
+        return self.run_many([RunSpec(name, self.scale, self.seed, cfg)])[0]
 
-    def run_many(self, points: Sequence[Tuple[str, ProcessorConfig]]
-                 ) -> List[SimStats]:
-        """Resolve a batch of (kernel, config) points, order-preserving."""
-        resolved: Dict[tuple, SimStats] = {}
-        pending: List[tuple] = []
-        observing = self.observe is not None
-        for name, cfg in points:
-            memo_key = (name, cfg)
-            if memo_key in resolved or memo_key in pending:
-                continue
-            if not observing:
-                st = self._memo.get(memo_key)
+    def run_many(self, points: Sequence) -> List[SimStats]:
+        """Resolve a batch of runs, order-preserving.
+
+        Each point is a :class:`RunSpec` (or a deprecated
+        ``(kernel, cfg)`` tuple).  Resolution per run: in-process memo,
+        then disk cache, then simulation — both lookups keyed by the
+        canonical :func:`~repro.runtime.keys.run_key`, the same identity
+        the serve layer coalesces on.  Runs carrying an observer or a
+        fault plan skip cache *reads* (cached entries carry no events,
+        and perturbed results must come from a real perturbed run);
+        faulty results are additionally never written back.
+        """
+        order: List[object] = []
+        specs: Dict[object, Tuple[object, RunSpec]] = {}
+        for point in points:
+            spec = self._as_spec(point)
+            key = self._spec_key(spec)
+            ident: object = key if key is not None else spec
+            order.append(ident)
+            if ident not in specs:
+                specs[ident] = (point, spec)
+        resolved: Dict[object, SimStats] = {}
+        pending: List[Tuple[object, object, RunSpec]] = []
+        for ident, (point, spec) in specs.items():
+            key = ident if isinstance(ident, str) else None
+            reads_ok = (key is not None and spec.observe is None
+                        and spec.faults is None)
+            if reads_ok:
+                st = self._memo.get(key)
                 if st is not None:
                     self.memo_hits += 1
-                    self.sources[memo_key] = "memo"
-                    resolved[memo_key] = st
+                    self._note_source(ident, point, spec, "memo")
+                    resolved[ident] = st
                     continue
-                try:
-                    st = self.cache.get(self._key(name, cfg))
-                except Exception:
-                    # The program itself won't build: skip the cache and
-                    # let the worker fail it with a full traceback, so
-                    # the error reports like any other job failure.
-                    st = None
+                st = self.cache.get(key)
                 if st is not None:
                     self.disk_hits += 1
-                    self.sources[memo_key] = "disk"
-                    self._memo[memo_key] = resolved[memo_key] = st
+                    self._note_source(ident, point, spec, "disk")
+                    self._memo[key] = resolved[ident] = st
                     continue
-            pending.append(memo_key)
+            pending.append((ident, point, spec))
         if pending:
-            sim_jobs = [SimJob(name, self.scale, self.seed, cfg,
-                               observe=self.observe)
-                        for name, cfg in pending]
+            sim_jobs = [spec for _, _, spec in pending]
             results = execute_jobs_observed(
                 sim_jobs, self.jobs, timeout=self.timeout,
                 retries=self.retries, keep_going=self.keep_going)
             self.sims_run += len(sim_jobs)
-            for memo_key, (st, payload) in zip(pending, results):
+            for (ident, point, spec), (st, payload) in zip(pending,
+                                                           results):
                 if isinstance(st, FailedResult):
                     # A hole, not a result: report it, never cache it.
                     self.failures.append(st)
-                    self.sources[memo_key] = "failed"
-                    resolved[memo_key] = st
+                    self._note_source(ident, point, spec, "failed")
+                    resolved[ident] = st
                     continue
-                self._memo[memo_key] = resolved[memo_key] = st
-                self.sources[memo_key] = "sim"
-                self.cache.put(self._key(*memo_key), st)
+                resolved[ident] = st
+                self._note_source(ident, point, spec, "sim")
+                if isinstance(ident, str) and spec.faults is None:
+                    self._memo[ident] = st
+                    self.cache.put(ident, st, spec=spec)
                 if payload is not None:
-                    self.observations.append((memo_key[0], payload))
+                    self.observations.append((spec.kernel, payload))
         # Persist the hit/miss tallies this batch accumulated (a no-op
         # when nothing changed or the cache is disabled).
         self.cache.flush_counters()
-        return [resolved[(name, cfg)] for name, cfg in points]
+        return [resolved[ident] for ident in order]
 
     # -- observations ----------------------------------------------------
     def merged_observations(self) -> Dict[str, dict]:

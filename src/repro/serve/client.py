@@ -25,8 +25,8 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments.common import Runner
-from ..runtime import FailedResult, ResultCache
-from ..uarch import ProcessorConfig, SimStats
+from ..runtime import FailedResult, ResultCache, RunSpec
+from ..uarch import SimStats
 from . import protocol
 from .protocol import ErrorInfo, JobSpec, JobStatus
 
@@ -249,12 +249,24 @@ class RemoteRunner(Runner):
         #: server-side source tallies (sim/disk/memo/coalesced/failed)
         self.server_sources: Dict[str, int] = {}
 
-    def run_many(self, points: Sequence[Tuple[str, ProcessorConfig]]
-                 ) -> List[SimStats]:
-        resolved: Dict[tuple, SimStats] = {}
-        pending: List[tuple] = []
-        for name, cfg in points:
-            memo_key = (name, cfg)
+    def run_many(self, points: Sequence) -> List[SimStats]:
+        """Resolve runs via the daemon, order-preserving.
+
+        Accepts :class:`~repro.runtime.RunSpec` instances (or the
+        deprecated ``(kernel, cfg)`` tuples).  Deduplication is by spec
+        identity, *not* the canonical cache key: a thin client never
+        builds programs locally — the daemon derives the shared key and
+        coalesces — so two spellings of one run cost at most one wire
+        round-trip each, never a local kernel build.
+        """
+        resolved: Dict[object, SimStats] = {}
+        order: List[object] = []
+        pending: List[object] = []
+        for point in points:
+            spec = self._as_spec(point)
+            memo_key = (spec.kernel, spec.cfg) \
+                if isinstance(point, tuple) else spec
+            order.append(memo_key)
             if memo_key in resolved or memo_key in pending:
                 continue
             st = self._memo.get(memo_key)
@@ -265,13 +277,20 @@ class RemoteRunner(Runner):
                 continue
             pending.append(memo_key)
         if pending:
-            specs = [JobSpec(kernel=name, scale=self.scale,
-                             seed=self.seed, cfg=cfg,
+            sent: List[RunSpec] = []
+            for memo_key in pending:
+                spec = memo_key if isinstance(memo_key, RunSpec) \
+                    else RunSpec(memo_key[0], self.scale, self.seed,
+                                 memo_key[1])
+                sent.append(spec)
+            specs = [JobSpec(kernel=s.kernel, scale=s.scale, seed=s.seed,
+                             cfg=s.cfg, policy=s.policy, faults=s.faults,
                              priority=self.priority,
                              client=self.client_name)
-                     for name, cfg in pending]
+                     for s in sent]
             outcomes = self.client.run(specs, on_update=self.on_update)
-            for memo_key, (status, stats) in zip(pending, outcomes):
+            for memo_key, spec, (status, stats) in zip(pending, sent,
+                                                       outcomes):
                 source = status.source or status.state
                 self.server_sources[source] = (
                     self.server_sources.get(source, 0) + 1)
@@ -283,15 +302,15 @@ class RemoteRunner(Runner):
                 err = status.error or ErrorInfo(
                     kind="failed", message=f"job ended {status.state} "
                                            f"without stats")
-                failed = err.to_failed_result(memo_key[0], self.scale,
-                                              self.seed)
+                failed = err.to_failed_result(spec.kernel, spec.scale,
+                                              spec.seed)
                 if not self.keep_going:
                     raise ServeError(f"remote job failed: "
                                      f"{failed.describe()}")
                 self.failures.append(failed)
                 self.sources[memo_key] = "failed"
                 resolved[memo_key] = failed
-        return [resolved[(name, cfg)] for name, cfg in points]
+        return [resolved[k] for k in order]
 
     def runtime_summary(self) -> str:
         served = sum(self.server_sources.values())

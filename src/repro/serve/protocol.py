@@ -27,12 +27,11 @@ would have reported).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..runtime import FailedResult
-from ..uarch import ProcessorConfig
-from ..uarch.config import config_from_dict, config_to_dict
+from ..runtime import FailedResult, RunSpec
+from ..uarch.config import config_from_dict
 
 #: bump on any incompatible wire change; requests carry it and the
 #: server rejects other versions explicitly instead of misparsing them
@@ -70,35 +69,30 @@ def _require(cond: bool, message: str) -> None:
 
 
 @dataclass(frozen=True)
-class JobSpec:
-    """One simulation request: a suite kernel under one configuration.
+class JobSpec(RunSpec):
+    """One simulation request: a :class:`~repro.runtime.RunSpec` plus
+    transport fields.
 
-    The wire twin of :class:`repro.runtime.SimJob` — ``policy``
-    optionally overrides ``cfg.ci_policy`` by registry name, exactly
-    like ``SimJob.policy``, and the server's coalescing key is the same
-    content-addressed cache key the runtime already uses (predecode
-    image digest + resolved config + scale/seed).
+    The run vocabulary *is* the wire vocabulary — kernel, scale, seed,
+    config, policy and fault riders serialise exactly as
+    :meth:`RunSpec.to_dict` defines them, so the server's coalescing key
+    is literally ``spec.cache_key()``: the same content-addressed
+    identity the local pool memoises and the disk cache stores under.
+    ``priority`` and ``client`` are transport-only — they steer
+    admission and accounting and never enter the key.  Observer specs do
+    not cross the wire (events would dwarf the stats payload); a
+    non-null ``observe`` field is rejected at parse time.
     """
 
-    kernel: str
-    scale: float = 0.5
-    seed: int = 1
-    cfg: ProcessorConfig = field(default_factory=ProcessorConfig)
-    policy: Optional[str] = None
     priority: str = "sweep"
     client: str = "anon"
 
-    def resolved_cfg(self) -> ProcessorConfig:
-        """The effective configuration (with any policy override)."""
-        if self.policy is None:
-            return self.cfg
-        return replace(self.cfg, ci_policy=self.policy)
-
     def to_dict(self) -> dict:
-        return {"kernel": self.kernel, "scale": self.scale,
-                "seed": self.seed, "cfg": config_to_dict(self.cfg),
-                "policy": self.policy, "priority": self.priority,
-                "client": self.client}
+        out = RunSpec.to_dict(self)
+        del out["observe"]   # never crosses the wire
+        out["priority"] = self.priority
+        out["client"] = self.client
+        return out
 
     @classmethod
     def from_dict(cls, data: object) -> "JobSpec":
@@ -118,6 +112,11 @@ class JobSpec:
         policy = data.get("policy")
         _require(policy is None or isinstance(policy, str),
                  "policy must be a registry name or null")
+        faults = data.get("faults")
+        _require(faults is None or isinstance(faults, str),
+                 "faults must be a fault-plan spec string or null")
+        _require(data.get("observe") is None,
+                 "observers are not supported over the wire")
         client = data.get("client", "anon")
         _require(isinstance(client, str) and bool(client),
                  "client must be a non-empty string")
@@ -126,9 +125,11 @@ class JobSpec:
         except ValueError as exc:
             raise ProtocolError(str(exc)) from None
         spec = cls(kernel=kernel, scale=scale, seed=seed, cfg=cfg,
-                   policy=policy, priority=priority, client=client)
+                   policy=policy, faults=faults, priority=priority,
+                   client=client)
         try:
             spec.resolved_cfg()   # unknown policy fails here, with hints
+            spec.fault_plan()     # malformed fault plan fails here
         except ValueError as exc:
             raise ProtocolError(str(exc)) from None
         return spec

@@ -26,14 +26,12 @@ Three pieces:
 from __future__ import annotations
 
 import asyncio
-import threading
 import time
 import traceback
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..runtime import FailedResult, ParallelRunner, ResultCache, job_key
-from ..runtime.cache import config_token
+from ..runtime import FailedResult, ParallelRunner, ResultCache
 from . import protocol
 from .metrics import ServerMetrics
 from .protocol import ErrorInfo, JobSpec
@@ -81,13 +79,13 @@ class AdmissionController:
 class SimExecutor:
     """Synchronous execution engine behind the dispatcher.
 
-    Long-lived state: one :class:`ResultCache` shared by every runner,
-    one :class:`ParallelRunner` per (scale, seed) workload point (the
-    runner's program/result memos are per scale/seed, so reusing the
-    instance is what makes the daemon *warm*), and a key memo for
-    coalescing.  ``key_for`` runs on submit threads and ``execute`` on
-    the dispatch thread; the key lock keeps concurrent program builds
-    from duplicating work.
+    Long-lived state: one :class:`ResultCache` shared by every runner
+    and one :class:`ParallelRunner` per (scale, seed) workload point
+    (the runner's result memo is per scale/seed, so reusing the
+    instance is what makes the daemon *warm*).  Coalescing keys come
+    straight from ``spec.cache_key()`` — the canonical run identity of
+    :mod:`repro.runtime.keys`, whose own memo + lock keep the submit
+    threads' concurrent program builds from duplicating work.
     """
 
     def __init__(self, cache: Optional[ResultCache] = None,
@@ -99,8 +97,6 @@ class SimExecutor:
         self.timeout = timeout
         self.retries = retries
         self._runners: Dict[Tuple[float, int], ParallelRunner] = {}
-        self._keys: Dict[Tuple[str, float, int, str], str] = {}
-        self._key_lock = threading.Lock()
 
     # -- runners ---------------------------------------------------------
     def runner_for(self, scale: float, seed: int) -> ParallelRunner:
@@ -118,27 +114,17 @@ class SimExecutor:
     def key_for(self, spec: JobSpec) -> str:
         """The content-addressed identity of one request.
 
-        Exactly the runtime's disk-cache key (program fingerprint +
-        predecode image digest + resolved config + scale/seed), so two
-        requests coalesce iff a warm cache would have served the second
-        from the first's result.  Raises :class:`protocol.ProtocolError`
-        for a kernel that cannot be built.
+        Exactly ``spec.cache_key()`` — the canonical run key shared
+        with the local pool's memo/disk lookups — so two requests
+        coalesce iff a warm cache would have served the second from the
+        first's result.  Raises :class:`protocol.ProtocolError` for a
+        kernel that cannot be built.
         """
-        cfg = spec.resolved_cfg()
-        memo = (spec.kernel, spec.scale, spec.seed, config_token(cfg))
-        with self._key_lock:
-            key = self._keys.get(memo)
-            if key is None:
-                runner = self.runner_for(spec.scale, spec.seed)
-                try:
-                    program = runner.program(spec.kernel)
-                except Exception as exc:
-                    raise protocol.ProtocolError(
-                        f"cannot build kernel {spec.kernel!r}: "
-                        f"{exc}") from None
-                key = job_key(program, cfg, spec.scale, spec.seed)
-                self._keys[memo] = key
-            return key
+        try:
+            return spec.cache_key()
+        except Exception as exc:
+            raise protocol.ProtocolError(
+                f"cannot build kernel {spec.kernel!r}: {exc}") from None
 
     # -- execution -------------------------------------------------------
     def execute(self, entries: List[Entry]) -> Dict[str, Tuple[object, str]]:
@@ -156,10 +142,10 @@ class SimExecutor:
             groups.setdefault((spec.scale, spec.seed), []).append(entry)
         for (scale, seed), group in groups.items():
             runner = self.runner_for(scale, seed)
-            points = [(e.spec.kernel, e.spec.resolved_cfg()) for e in group]
-            stats = runner.run_many(points)
-            for entry, point, st in zip(group, points, stats):
-                outcome[entry.key] = (st, runner.sources.get(point, "sim"))
+            stats = runner.run_many([e.spec for e in group])
+            for entry, st in zip(group, stats):
+                outcome[entry.key] = (st,
+                                      runner.sources.get(entry.key, "sim"))
             # Error envelopes carry each failure; don't let the daemon's
             # keep-going ledger grow without bound.
             runner.failures.clear()

@@ -1,0 +1,43 @@
+"""Shared "did you mean" suggestion helper.
+
+One difflib-backed close-match helper used everywhere a user-supplied
+name is resolved against a registry — mechanism policies
+(:mod:`repro.ci.registry`), workloads (:mod:`repro.workloads.registry`),
+the serve protocol and the CLI — so every unknown-name error carries the
+same hint format and the same matching behaviour.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable, List, Sequence
+
+#: difflib tuning shared by every lookup (kept loose enough to catch
+#: transpositions like ``ci-orcale-mbs`` -> ``ci-oracle-mbs``)
+MAX_SUGGESTIONS = 3
+CUTOFF = 0.4
+
+
+def suggest(name: str, known: Iterable[str]) -> List[str]:
+    """Close matches for ``name`` among ``known`` (may be empty)."""
+    return difflib.get_close_matches(name, list(known),
+                                     n=MAX_SUGGESTIONS, cutoff=CUTOFF)
+
+
+def did_you_mean(name: str, known: Iterable[str]) -> str:
+    """`` (did you mean ...?)`` suffix, or ``""`` with no close match."""
+    close = suggest(name, known)
+    if not close:
+        return ""
+    return f" (did you mean {' or '.join(repr(c) for c in close)}?)"
+
+
+def unknown_name_message(kind: str, name: str,
+                         known: Sequence[str]) -> str:
+    """The canonical unknown-name error text, with suggestions.
+
+    ``kind`` is the registry's noun (``policy``, ``kernel``, ...);
+    ``known`` is the presentation-order list of valid names.
+    """
+    return (f"unknown {kind} {name!r}; known: {list(known)}"
+            + did_you_mean(name, known))

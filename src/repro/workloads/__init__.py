@@ -1,5 +1,13 @@
-"""Synthetic SpecInt2000-like workload suite."""
+"""Synthetic SpecInt2000-like workload suite (registry-backed)."""
 
+from .registry import (
+    UnknownWorkloadError,
+    WorkloadSpec,
+    all_workloads,
+    get_workload,
+    register_workload,
+    workload_names,
+)
 from .suite import (
     BY_NAME,
     SUITE,
@@ -14,8 +22,14 @@ __all__ = [
     "BY_NAME",
     "KernelSpec",
     "SUITE",
+    "UnknownWorkloadError",
+    "WorkloadSpec",
+    "all_workloads",
     "build_program",
     "build_suite",
     "get_kernel",
+    "get_workload",
     "kernel_names",
+    "register_workload",
+    "workload_names",
 ]

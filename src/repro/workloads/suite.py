@@ -1,87 +1,48 @@
-"""Benchmark suite registry: the 12 SpecInt2000-like kernels."""
+"""Benchmark suite views over the workload registry.
+
+The suite itself lives in :mod:`repro.workloads.registry` (one
+:class:`~repro.workloads.registry.WorkloadSpec` per kernel, registered
+in the paper's presentation order).  This module keeps the historical
+suite-shaped API — ``SUITE`` / ``BY_NAME`` / ``kernel_names`` /
+``get_kernel`` / ``build_program`` / ``build_suite`` — as thin views so
+long-standing callers and tests keep working unchanged.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Dict, List
 
-from ..isa import Program, assemble
-from . import kernels
+from ..isa import Program
+from .registry import (
+    WorkloadSpec,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
 
+#: compatibility alias: a suite member is a registry workload spec
+KernelSpec = WorkloadSpec
 
-@dataclass(frozen=True)
-class KernelSpec:
-    """One suite member: builder, reference model and characterisation."""
-
-    name: str
-    build_source: Callable[[float, int], str]
-    reference: Callable[[float, int], Dict[int, int]]
-    description: str
-    traits: str
-
-    def program(self, scale: float = 1.0, seed: int = 1) -> Program:
-        return assemble(self.build_source(scale, seed), name=self.name)
-
-
-#: Suite members in the paper's presentation order.
-SUITE: List[KernelSpec] = [
-    KernelSpec("bzip2", kernels.build_bzip2, kernels.ref_bzip2,
-               "byte-frequency pass with prefix-sum store-out",
-               "hard threshold hammock, unit-stride loads and stores"),
-    KernelSpec("crafty", kernels.build_crafty, kernels.ref_crafty,
-               "bitboard bit tests with in-place data evolution",
-               "data-dependent bit-test hammock, unit-stride loads"),
-    KernelSpec("eon", kernels.build_eon, kernels.ref_eon,
-               "FP-flavoured pixel pass with highly biased branch",
-               "easy branches (MBS filters them), FP unit pressure"),
-    KernelSpec("gap", kernels.build_gap, kernels.ref_gap,
-               "permutation walk with indirect value lookup",
-               "mixed strided + indirect loads"),
-    KernelSpec("gcc", kernels.build_gcc, kernels.ref_gcc,
-               "branch-dense classification (2 hammocks + if-then)",
-               "many hard branches, short CI regions"),
-    KernelSpec("gzip", kernels.build_gzip, kernels.ref_gzip,
-               "LZ-style match loop with geometric trip counts",
-               "variable-trip inner loop, drifting strides"),
-    KernelSpec("mcf", kernels.build_mcf, kernels.ref_mcf,
-               "pointer chase over a random cycle",
-               "non-strided loads: CI selected but rarely reused"),
-    KernelSpec("parser", kernels.build_parser, kernels.ref_parser,
-               "nested character classification",
-               "nested hammocks, path-dependent token register"),
-    KernelSpec("perlbmk", kernels.build_perlbmk, kernels.ref_perlbmk,
-               "multiplicative hash chain",
-               "self-recurrent vectorizable chain through INT_MUL"),
-    KernelSpec("twolf", kernels.build_twolf, kernels.ref_twolf,
-               "annealing accept/reject against evolving incumbent",
-               "hard branch, one arm writes a CI-blocking register"),
-    KernelSpec("vortex", kernels.build_vortex, kernels.ref_vortex,
-               "record updates with in-place stores",
-               "stride-16 loads, store/replica coherence pressure"),
-    KernelSpec("vpr", kernels.build_vpr, kernels.ref_vpr,
-               "|a-b| placement cost with both-arms-write hammock",
-               "CI blocked for diff consumers, clean accumulator reusable"),
-]
+#: Suite members in the paper's presentation order (a registry view).
+SUITE: List[KernelSpec] = all_workloads()
 
 BY_NAME: Dict[str, KernelSpec] = {k.name: k for k in SUITE}
 
 
 def kernel_names() -> List[str]:
-    return [k.name for k in SUITE]
+    return workload_names()
 
 
 def get_kernel(name: str) -> KernelSpec:
-    try:
-        return BY_NAME[name]
-    except KeyError:
-        raise KeyError(f"unknown kernel {name!r}; known: {kernel_names()}") from None
+    """Resolve a kernel name (raises with did-you-mean suggestions)."""
+    return get_workload(name)
 
 
 def build_program(name: str, scale: float = 1.0, seed: int = 1) -> Program:
     """Assemble one suite kernel."""
-    return get_kernel(name).program(scale, seed)
+    return get_workload(name).program(scale, seed)
 
 
 def build_suite(scale: float = 1.0, seed: int = 1) -> Dict[str, Program]:
     """Assemble the whole suite."""
-    return {k.name: k.program(scale, seed) for k in SUITE}
+    return {k.name: k.program(scale, seed) for k in all_workloads()}

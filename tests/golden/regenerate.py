@@ -48,6 +48,26 @@ def figure_table() -> str:
     return fig05.compute(runner).render()
 
 
+def run_keys() -> dict:
+    """Pin the canonical run keys (tests/test_run_spec.py).
+
+    Regenerate only when the key schema changes deliberately — a drift
+    here silently invalidates every user's disk cache.
+    """
+    from repro.runtime import CACHE_SCHEMA, RunSpec
+    from repro.uarch import ci, scal, wb
+    specs = [
+        RunSpec("gzip", 0.1, 1, ci(1, 512)),
+        RunSpec("mcf", 0.1, 1, wb(1, 512)),
+        RunSpec("eon", 0.1, 2, ci(1, 512, policy="vect"), policy="vect"),
+        RunSpec("perlbmk", 0.05, 3, scal(1, 256)),
+        RunSpec("bzip2", 0.1, 1, ci(1, 512), faults="valfail*2,seed=7"),
+    ]
+    return {"schema": CACHE_SCHEMA,
+            "entries": [{"spec": s.to_dict(), "key": s.cache_key()}
+                        for s in specs]}
+
+
 def main() -> None:
     for policy in POLICIES:
         path = os.path.join(HERE, f"suite_{policy}.json")
@@ -58,6 +78,11 @@ def main() -> None:
     path = os.path.join(HERE, "fig05.txt")
     with open(path, "w") as fh:
         fh.write(figure_table() + "\n")
+    print(f"wrote {path}")
+    path = os.path.join(HERE, "run_keys.json")
+    with open(path, "w") as fh:
+        json.dump(run_keys(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
     print(f"wrote {path}")
 
 

@@ -104,7 +104,8 @@ class TestSchemaMismatch:
         st = first.run("eon", cfg)
         assert first.sims_run == 1
         # Downgrade the stored entry's schema in place.
-        key = first._key("eon", cfg)
+        from repro.runtime import RunSpec, run_key
+        key = run_key(RunSpec("eon", 0.05, 1, cfg))
         path = cache.path_for(key)
         with open(path) as fh:
             envelope = json.load(fh)

@@ -1,7 +1,5 @@
 """Tests for the command-line interface."""
 
-import pytest
-
 from repro.cli import build_parser, main, make_config
 from repro.uarch.config import INF_REGS
 
@@ -73,9 +71,30 @@ class TestCommands:
         rc = main(["ablation", "nosuch"])
         assert rc == 2
 
-    def test_unknown_kernel_raises(self):
-        with pytest.raises(KeyError):
-            main(["run", "nosuchkernel"])
+    def test_unknown_kernel_exits_2_with_hint(self, capsys):
+        rc = main(["run", "nosuchkernel"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown kernel" in err
+        assert "repro kernels" in err
+
+    def test_unknown_kernel_suggests_close_match(self, capsys):
+        rc = main(["run", "bzip"])
+        err = capsys.readouterr().err
+        assert rc == 2 and "did you mean" in err and "bzip2" in err
+
+    def test_kernels_lists_registry(self, capsys):
+        from repro.workloads import all_workloads
+        rc, out = run_cli(capsys, "kernels")
+        assert rc == 0
+        for spec in all_workloads():
+            assert spec.name in out and spec.category in out
+        assert "0.1/0.3/0.5" in out
+
+    def test_kernels_verbose(self, capsys):
+        rc, out = run_cli(capsys, "kernels", "-v")
+        assert rc == 0
+        assert "traits:" in out and "pointer chase" in out
 
     def test_figure_by_number(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "0.2")
