@@ -13,6 +13,8 @@ Commands
 ``trace``    trace-driven profile of a kernel (branches, strides, reconv.)
 ``faults``   fault-injection sweep: seeded mechanism faults across the
              suite, each run held to the invariant checker + state oracle
+``chaos``    service-layer chaos drill: kill/corrupt a journaled
+             ``repro serve`` subprocess mid-sweep, assert clean recovery
 ``cache``    inspect, verify or clear the persistent simulation-result cache
 ``serve``    run the simulation service daemon (async HTTP/JSON front end
              over one persistent runner pool; see DESIGN.md §10)
@@ -131,7 +133,9 @@ def _make_runner(args: argparse.Namespace, scale=None, seed=None):
         from .serve.client import RemoteRunner
         return RemoteRunner(args.server, scale=scale, seed=seed,
                             keep_going=args.keep_going,
-                            client_name=f"cli-{os.getpid()}")
+                            client_name=f"cli-{os.getpid()}",
+                            on_event=lambda m: print(
+                                f"repro: {m}", file=sys.stderr))
     from .experiments.common import Runner
     return Runner(scale=scale, seed=seed, jobs=args.jobs,
                   keep_going=args.keep_going, timeout=args.timeout,
@@ -326,9 +330,14 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"cache root : {report['root']}")
         print(f"verified   : {report['ok']} ok, {report['stale']} stale "
               f"(other schema), {report['corrupt']} corrupt")
+        print(f"quarantined: {report['quarantined']}")
         for item in report["bad"]:
             print(f"  quarantined {item['path']}: {item['reason']}")
         if report["corrupt"]:
+            return 1
+        if args.strict and report["quarantined"]:
+            print("strict: quarantined entries present; inspect or clear "
+                  f"{report['root']}/quarantine", file=sys.stderr)
             return 1
     else:  # clear
         removed = cache.clear()
@@ -338,10 +347,50 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import os
     from .serve.server import serve_main
+    journal = None
+    if not args.no_journal:
+        if args.journal:
+            journal = args.journal
+        else:
+            from .runtime.cache import default_cache_dir
+            journal = os.path.join(default_cache_dir(),
+                                   "serve-journal.jsonl")
     return serve_main(host=args.host, port=args.port, jobs=args.jobs,
                       queue_depth=args.queue_depth, timeout=args.timeout,
-                      retries=args.retries)
+                      retries=args.retries, batch_max=args.batch_max,
+                      journal=journal)
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults.chaos import DEFAULT_PLAN, ChaosPlan, run_chaos
+    seeds = [int(s) for s in args.seeds.split(",")] if args.seeds \
+        else [args.seed]
+    kernels = args.kernels.split(",") if args.kernels else None
+    on_event = (lambda m: print(f"repro chaos: {m}", file=sys.stderr)) \
+        if args.verbose else None
+    bad = 0
+    for i, seed in enumerate(seeds):
+        text = args.plan or DEFAULT_PLAN
+        if "seed=" not in text:
+            text = f"{text},seed={seed}"
+        try:
+            plan = ChaosPlan.parse(text)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = run_chaos(plan, kernels, scale=args.scale,
+                           data_seed=args.data_seed, jobs=args.jobs,
+                           on_event=on_event)
+        if i:
+            print()
+        print(report.render())
+        if not report.ok:
+            bad += 1
+    if len(seeds) > 1:
+        print(f"\n{len(seeds) - bad}/{len(seeds)} drill(s) passed")
+    return 1 if bad else 0
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -359,12 +408,26 @@ def cmd_submit(args: argparse.Namespace) -> int:
                   f"{' [' + status.source + ']' if status.source else ''}"
                   f"  ({job_id})", file=sys.stderr)
 
+    def on_event(message):
+        print(f"  ! {message}", file=sys.stderr)
+
     import os
     from .runtime import RunSpec
+    from .serve.client import ServeClient, ServeError
+    try:
+        # Surface the daemon's structured /healthz state up front, so
+        # "why is my sweep refused" is answered before the first job.
+        state = ServeClient(args.server).health().get("status", "")
+        if state and state != "ok":
+            print(f"repro submit: server reports {state}",
+                  file=sys.stderr)
+    except ServeError:
+        pass   # run() below reports unreachability with full context
     client_name = args.client or f"submit-{os.getpid()}"
     runner = RemoteRunner(args.server, scale=args.scale, seed=args.seed,
                           priority=args.priority, client_name=client_name,
-                          keep_going=True, on_update=on_update)
+                          keep_going=True, on_update=on_update,
+                          on_event=on_event)
     stats = dict(zip(kernels, runner.run_many(
         [RunSpec(k, args.scale, args.seed, cfg) for k in kernels])))
     print(_suite_table(stats, runner, cfg, args))
@@ -582,6 +645,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     pc = sub.add_parser("cache", help="persistent result-cache maintenance")
     pc.add_argument("action", choices=("info", "verify", "clear"))
+    pc.add_argument("--strict", action="store_true",
+                    help="with 'verify': also exit nonzero while any "
+                         "quarantined entry remains parked (CI gate)")
     pc.set_defaults(fn=cmd_cache)
 
     from .serve.protocol import DEFAULT_PORT
@@ -603,6 +669,15 @@ def build_parser() -> argparse.ArgumentParser:
     psv.add_argument("--retries", type=int, default=None, metavar="N",
                      help="transient-failure retries (default: "
                           "REPRO_RETRIES or 1)")
+    psv.add_argument("--journal", default=None, metavar="FILE",
+                     help="crash-safety job journal path (default: "
+                          "<cache root>/serve-journal.jsonl)")
+    psv.add_argument("--no-journal", action="store_true",
+                     help="disable the crash-safety journal (accepted "
+                          "jobs do not survive a daemon crash)")
+    psv.add_argument("--batch-max", type=int, default=32, metavar="N",
+                     help="max queue entries dispatched per executor "
+                          "batch (default: 32)")
     psv.set_defaults(fn=cmd_serve)
 
     psm = sub.add_parser(
@@ -622,6 +697,33 @@ def build_parser() -> argparse.ArgumentParser:
     psm.add_argument("--quiet", "-q", action="store_true",
                      help="suppress the per-job status stream on stderr")
     psm.set_defaults(fn=cmd_submit)
+
+    pch = sub.add_parser(
+        "chaos",
+        help="service-layer chaos drill: crash/restart a journaled "
+             "'repro serve' subprocess mid-sweep and audit recovery")
+    pch.add_argument("--plan", default=None, metavar="SPEC",
+                     help="chaos plan, e.g. 'kill-server@mid,drop-conn' "
+                          "(default: every kind once at seeded "
+                          "positions)")
+    pch.add_argument("--seed", type=int, default=0, metavar="S",
+                     help="plan seed for unpinned event positions "
+                          "(default: 0)")
+    pch.add_argument("--seeds", default=None, metavar="A,B,...",
+                     help="run the drill once per seed (overrides "
+                          "--seed)")
+    pch.add_argument("--kernels", default=None, metavar="A,B,...",
+                     help="kernels to sweep (default: the whole suite)")
+    pch.add_argument("--scale", type=float, default=0.05,
+                     help="workload scale factor (default: 0.05)")
+    pch.add_argument("--data-seed", type=int, default=1, metavar="N",
+                     help="workload data seed (default: 1)")
+    pch.add_argument("--jobs", type=int, default=2, metavar="N",
+                     help="daemon worker processes (default: 2 — the "
+                          "kill-worker event needs a real pool)")
+    pch.add_argument("--verbose", "-v", action="store_true",
+                     help="stream drill events to stderr")
+    pch.set_defaults(fn=cmd_chaos)
 
     pfa = sub.add_parser(
         "faults",

@@ -36,6 +36,7 @@ from .cache import (
 )
 from .keys import cached_program, image_digest, run_key, stats_digest
 from .parallel import (
+    TRANSIENT_PHASES,
     FailedResult,
     ParallelRunner,
     SimJob,
@@ -60,6 +61,7 @@ __all__ = [
     "RunSpec",
     "SPEC_FIELDS",
     "SimJob",
+    "TRANSIENT_PHASES",
     "WorkerError",
     "aggregate_failure_report",
     "cache_enabled",

@@ -277,7 +277,10 @@ class ResultCache:
         (the default) bad entries are moved aside like a failing read
         would.  Other-schema entries count as ``stale`` and are left in
         place.  ``with_spec`` counts the valid entries carrying run-spec
-        provenance in their envelope.
+        provenance in their envelope.  ``quarantined`` is the total
+        parked under ``<root>/quarantine/`` *after* this audit — newly
+        moved entries plus anything quarantined earlier — which is what
+        ``repro cache verify --strict`` gates on.
         """
         ok = stale = with_spec = 0
         bad: List[Tuple[str, str]] = []
@@ -301,8 +304,17 @@ class ResultCache:
         if quarantine:
             for path, reason in bad:
                 self._quarantine(path, reason)
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        try:
+            parked = sum(1 for name in os.listdir(qdir)
+                         if name.endswith(".json"))
+        except OSError:
+            parked = 0
+        if not quarantine:
+            parked += len(bad)
         return {"root": self.root, "ok": ok, "stale": stale,
                 "with_spec": with_spec, "corrupt": len(bad),
+                "quarantined": parked,
                 "bad": [{"path": p, "reason": r} for p, r in bad]}
 
     def info(self) -> Dict[str, object]:

@@ -38,6 +38,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import signal
 import sys
 import time
 import traceback
@@ -158,6 +159,14 @@ def pool_restart_count() -> int:
     return _pool_restarts
 
 
+#: failure phases classified as *transient*: the job itself may be fine
+#: and a fresh pool may succeed.  The local retry loop re-runs them with
+#: backoff; the serving layer's pool supervisor keys its restart and
+#: circuit-breaker decisions on the same classification, so "executor
+#: death" means the same thing at both levels.
+TRANSIENT_PHASES = ("timeout", "pool")
+
+
 def default_timeout() -> Optional[float]:
     """Stall-watchdog seconds from ``REPRO_TIMEOUT`` (0/empty = none)."""
     env = os.environ.get("REPRO_TIMEOUT")
@@ -206,6 +215,27 @@ def _run_job(job: SimJob) -> Tuple[Optional[dict], Optional[dict],
         return stats.to_dict(), payload, None
     except Exception:
         return None, None, traceback.format_exc()
+
+
+def _worker_init() -> None:
+    """Reset inherited signal state in a freshly started pool worker.
+
+    Fork-context workers inherit the parent's signal disposition
+    wholesale.  Under ``repro serve`` that includes the asyncio loop's
+    wakeup fd: a signal delivered to a *worker* (e.g. the SIGTERM
+    concurrent.futures sends surviving workers when one dies) would be
+    written into the parent loop's self-pipe and drain the daemon as if
+    the operator had asked.  Workers must die their own deaths.
+    """
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
 
 
 def _run_batch(batch: Sequence[SimJob]) -> List[Tuple[Optional[dict],
@@ -292,7 +322,8 @@ def _run_pool_pass(jobs: Sequence[SimJob], indexes: Sequence[int],
     chunks = _batch_chunks(jobs, indexes, n_workers)
     try:
         with ProcessPoolExecutor(max_workers=min(n_workers, len(chunks)),
-                                 mp_context=_pool_context()) as pool:
+                                 mp_context=_pool_context(),
+                                 initializer=_worker_init) as pool:
             futures = {
                 pool.submit(_run_batch, [jobs[i] for i in chunk]): chunk
                 for chunk in chunks}
@@ -505,6 +536,9 @@ class ParallelRunner:
         self.memo_hits = 0
         self.disk_hits = 0
         self.sims_run = 0
+        #: pool rebuilds attributable to this runner's batches (the
+        #: process-wide tally is :func:`pool_restart_count`)
+        self.pool_restarts = 0
 
     # -- programs --------------------------------------------------------
     def program(self, name: str):
@@ -603,10 +637,12 @@ class ParallelRunner:
             pending.append((ident, point, spec))
         if pending:
             sim_jobs = [spec for _, _, spec in pending]
+            restarts_before = pool_restart_count()
             results = execute_jobs_observed(
                 sim_jobs, self.jobs, timeout=self.timeout,
                 retries=self.retries, keep_going=self.keep_going)
             self.sims_run += len(sim_jobs)
+            self.pool_restarts += pool_restart_count() - restarts_before
             for (ident, point, spec), (st, payload) in zip(pending,
                                                            results):
                 if isinstance(st, FailedResult):

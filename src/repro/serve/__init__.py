@@ -9,17 +9,20 @@ cache key) exactly as the mechanism reuses a control-independent slice
 instead of re-executing it.
 
 Modules: ``protocol`` (versioned wire types), ``queue`` (priority +
-fairness + coalescing), ``scheduler`` (admission control + dispatch),
-``server`` (asyncio front end), ``client`` (wire client + thin-client
-runner), ``metrics`` (Prometheus / healthz).
+fairness + coalescing), ``scheduler`` (admission control + dispatch +
+pool supervision), ``journal`` (the crash-safety write-ahead log),
+``server`` (asyncio front end), ``client`` (resilient wire client +
+thin-client runner), ``metrics`` (Prometheus / healthz).
 """
 
 from .client import RemoteRunner, ServeClient, ServeError, parse_address
+from .journal import JobJournal, JournalReplay, replay_journal
 from .metrics import ServerMetrics
 from .protocol import (DEFAULT_PORT, PROTOCOL_VERSION, ErrorInfo, JobSpec,
                        JobStatus, ProtocolError)
 from .queue import ServeQueue
-from .scheduler import AdmissionController, Dispatcher, SimExecutor
+from .scheduler import (AdmissionController, Dispatcher, PoolSupervisor,
+                        SimExecutor)
 from .server import ServeServer, serve_main
 
 __all__ = [
@@ -27,9 +30,12 @@ __all__ = [
     "DEFAULT_PORT",
     "Dispatcher",
     "ErrorInfo",
+    "JobJournal",
     "JobSpec",
     "JobStatus",
+    "JournalReplay",
     "PROTOCOL_VERSION",
+    "PoolSupervisor",
     "ProtocolError",
     "RemoteRunner",
     "ServeClient",
@@ -39,5 +45,6 @@ __all__ = [
     "ServerMetrics",
     "SimExecutor",
     "parse_address",
+    "replay_journal",
     "serve_main",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -36,9 +37,24 @@ Outcome = Tuple[JobStatus, Optional[dict]]
 #: status-poll interval while waiting on the daemon
 POLL_INTERVAL = 0.1
 
+#: wire-level reconnect attempts after a dropped connection / bare 5xx
+#: (jittered exponential backoff between attempts — generous enough to
+#: ride out a daemon restart, bounded enough to fail a dead one fast)
+RECONNECT_TRIES = 8
+
 
 class ServeError(RuntimeError):
-    """The daemon is unreachable or answered outside the protocol."""
+    """The daemon is unreachable or answered outside the protocol.
+
+    ``kind`` carries the server's :class:`ErrorInfo` kind when the
+    failure was a protocol-level refusal ('' for wire-level failures),
+    so callers can tell *unknown job id* (reattach and resubmit) from
+    *cannot reach* (give up after the reconnect budget).
+    """
+
+    def __init__(self, message: str, kind: str = ""):
+        super().__init__(message)
+        self.kind = kind
 
 
 def parse_address(addr: str) -> Tuple[str, int]:
@@ -58,19 +74,48 @@ def parse_address(addr: str) -> Tuple[str, int]:
 
 
 class ServeClient:
-    """Synchronous wire client for one daemon address."""
+    """Synchronous wire client for one daemon address.
 
-    def __init__(self, addr: str, timeout: float = 30.0):
+    Resilient by default: every request runs under a per-request
+    ``timeout`` and a dropped connection (or a bare 5xx outside the
+    JSON protocol) is retried up to ``reconnect_tries`` times with
+    jittered exponential backoff — enough to ride out a daemon restart
+    mid-sweep.  Retrying a submit is safe by construction: jobs are
+    content-addressed (:func:`repro.runtime.keys.run_key`), so a
+    resubmission coalesces onto the journaled original instead of
+    duplicating the simulation.  ``on_event`` (optional) receives
+    human-readable resilience events — reconnect attempts, reattaches,
+    degraded-server notices — for a client's stderr status stream.
+    """
+
+    def __init__(self, addr: str, timeout: float = 30.0,
+                 reconnect_tries: int = RECONNECT_TRIES,
+                 backoff_base: float = 0.25, backoff_cap: float = 4.0,
+                 on_event: Optional[Callable[[str], None]] = None):
         self.host, self.port = parse_address(addr)
         self.timeout = timeout
+        self.reconnect_tries = max(0, reconnect_tries)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.on_event = on_event
+        self._rng = random.Random()
+        #: chaos seam: when set, called as ``f(method, path)`` after the
+        #: request is sent; returning True drops the connection before
+        #: the response is read (exercises the reconnect path exactly
+        #: where a real connection reset would land)
+        self.chaos_drop: Optional[Callable[[str, str], bool]] = None
 
     @property
     def base_url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    def _event(self, message: str) -> None:
+        if self.on_event is not None:
+            self.on_event(message)
+
     # -- wire ------------------------------------------------------------
-    def _request(self, method: str, path: str,
-                 body: Optional[dict] = None) -> Tuple[int, object]:
+    def _request_once(self, method: str, path: str,
+                      body: Optional[dict] = None) -> Tuple[int, object]:
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
@@ -80,12 +125,12 @@ class ServeClient:
                 payload = json.dumps(body)
                 headers["Content-Type"] = "application/json"
             conn.request(method, path, body=payload, headers=headers)
+            if self.chaos_drop is not None \
+                    and self.chaos_drop(method, path):
+                raise ConnectionResetError(
+                    "chaos: connection dropped after send")
             resp = conn.getresponse()
             raw = resp.read()
-        except (OSError, http.client.HTTPException) as exc:
-            raise ServeError(
-                f"cannot reach repro serve at {self.base_url}: "
-                f"{exc}") from None
         finally:
             conn.close()
         ctype = resp.headers.get("Content-Type", "")
@@ -96,6 +141,40 @@ class ServeClient:
                 raise ServeError(
                     f"malformed JSON from {self.base_url}{path}") from None
         return resp.status, raw.decode("utf-8", "replace")
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> Tuple[int, object]:
+        """One request with bounded jittered-backoff reconnect.
+
+        Wire-level problems (connection refused/reset, timeouts, and
+        5xx responses that carry no protocol envelope) are retried;
+        protocol-level answers — including error envelopes — pass
+        through untouched for the endpoint methods to interpret.
+        """
+        last: object = None
+        for attempt in range(self.reconnect_tries + 1):
+            try:
+                status, parsed = self._request_once(method, path, body)
+            except (OSError, http.client.HTTPException) as exc:
+                last = exc
+            else:
+                enveloped = isinstance(parsed, dict) and "ok" in parsed
+                if status >= 500 and not enveloped:
+                    last = f"HTTP {status} without a protocol envelope"
+                else:
+                    return status, parsed
+            if attempt >= self.reconnect_tries:
+                break
+            delay = min(self.backoff_cap,
+                        self.backoff_base * (2 ** attempt))
+            delay *= 0.5 + self._rng.random()   # jitter: 0.5x..1.5x
+            self._event(f"connection to {self.base_url} failed ({last}); "
+                        f"retrying in {delay:.1f}s "
+                        f"({attempt + 1}/{self.reconnect_tries})")
+            time.sleep(delay)
+        raise ServeError(
+            f"cannot reach repro serve at {self.base_url} after "
+            f"{self.reconnect_tries + 1} attempt(s): {last}")
 
     @staticmethod
     def _envelope(status: int, body: object) -> dict:
@@ -115,7 +194,8 @@ class ServeClient:
         env = self._envelope(status, raw)
         if not env.get("ok"):
             err = ErrorInfo.from_dict(env.get("error"))
-            raise ServeError(f"submit rejected: {err.message}")
+            raise ServeError(f"submit rejected: {err.message}",
+                             kind=err.kind)
         jobs = env.get("jobs")
         if not isinstance(jobs, list) or len(jobs) != len(specs):
             raise ServeError("submit response does not match the batch")
@@ -127,7 +207,8 @@ class ServeClient:
         env = self._envelope(status, raw)
         if not env.get("ok"):
             err = ErrorInfo.from_dict(env.get("error"))
-            raise ServeError(f"status {job_id}: {err.message}")
+            raise ServeError(f"status {job_id}: {err.message}",
+                             kind=err.kind)
         return JobStatus.from_dict(env.get("job"))
 
     def result(self, job_id: str) -> Outcome:
@@ -138,7 +219,8 @@ class ServeClient:
         env = self._envelope(status, raw)
         if not env.get("ok"):
             err = ErrorInfo.from_dict(env.get("error"))
-            raise ServeError(f"result {job_id}: {err.message}")
+            raise ServeError(f"result {job_id}: {err.message}",
+                             kind=err.kind)
         job = JobStatus.from_dict(env.get("job"))
         stats = env.get("stats")
         return job, stats if isinstance(stats, dict) else None
@@ -164,57 +246,94 @@ class ServeClient:
     def run(self, specs: Sequence[JobSpec],
             on_update: Optional[Callable[[str, JobStatus], None]] = None,
             poll: float = POLL_INTERVAL,
-            backoff_tries: int = 60) -> List[Outcome]:
-        """Submit, ride out backpressure, poll to completion.
+            backoff_tries: int = 60,
+            on_poll: Optional[Callable[[int, int], None]] = None,
+            ) -> List[Outcome]:
+        """Submit, ride out backpressure and restarts, poll to completion.
 
         Per-spec, order-preserving.  Rejections with a ``retry_after``
-        hint are resubmitted (up to ``backoff_tries`` rounds); permanent
-        refusals (bad request, draining, shedding) become synthetic
-        ``failed`` outcomes so sweeps degrade like ``--keep-going``
-        instead of aborting.  ``on_update(id, status)`` fires on every
-        observed state change.
+        hint (queue full, degraded executor) are resubmitted up to
+        ``backoff_tries`` rounds; permanent refusals (bad request,
+        draining, shedding) become synthetic ``failed`` outcomes so
+        sweeps degrade like ``--keep-going`` instead of aborting.
+
+        Survives a server restart mid-sweep: when a poll answers
+        *unknown job id* (the restarted daemon re-enqueued the work
+        from its journal under fresh ids), the spec is resubmitted —
+        content-addressing coalesces it onto the replayed job, so no
+        simulation is duplicated and the final outcomes are identical
+        to an uninterrupted run.
+
+        ``on_update(id, status)`` fires on every observed state change;
+        ``on_poll(done, total)`` fires once per poll round (the chaos
+        harness's injection point).
         """
         outcomes: List[Optional[Outcome]] = [None] * len(specs)
         waiting: Dict[str, int] = {}          # job id -> spec index
         todo = list(range(len(specs)))
         tries = 0
-        while todo:
-            decisions = self.submit([specs[i] for i in todo])
-            retry: List[int] = []
-            wait_hint = 0.0
-            for i, decision in zip(todo, decisions):
-                if decision.get("accepted"):
-                    job_id = str(decision.get("id"))
-                    waiting[job_id] = i
-                    if on_update:
-                        on_update(job_id, JobStatus(
-                            id=job_id, kernel=specs[i].kernel,
-                            state=str(decision.get("state",
-                                                   protocol.QUEUED))))
-                    continue
-                err = ErrorInfo.from_dict(decision.get("error"))
-                if err.kind == "rejected" and tries < backoff_tries:
-                    retry.append(i)
-                    wait_hint = max(wait_hint, err.retry_after)
-                    continue
-                outcomes[i] = (JobStatus(
-                    id="", kernel=specs[i].kernel, state=protocol.FAILED,
-                    source="failed", error=err), None)
-            todo = retry
+        seen: Dict[str, str] = {}             # job id -> last state shown
+        while todo or waiting:
             if todo:
-                tries += 1
-                time.sleep(max(0.1, wait_hint or poll))
-        seen: Dict[str, str] = {}
-        while waiting:
+                decisions = self.submit([specs[i] for i in todo])
+                retry: List[int] = []
+                wait_hint = 0.0
+                for i, decision in zip(todo, decisions):
+                    if decision.get("accepted"):
+                        job_id = str(decision.get("id"))
+                        waiting[job_id] = i
+                        if on_update:
+                            on_update(job_id, JobStatus(
+                                id=job_id, kernel=specs[i].kernel,
+                                state=str(decision.get("state",
+                                                       protocol.QUEUED))))
+                        continue
+                    err = ErrorInfo.from_dict(decision.get("error"))
+                    if err.kind in ("rejected", "degraded") \
+                            and tries < backoff_tries:
+                        if err.kind == "degraded":
+                            self._event(f"server degraded: {err.message}")
+                        retry.append(i)
+                        wait_hint = max(wait_hint, err.retry_after)
+                        continue
+                    outcomes[i] = (JobStatus(
+                        id="", kernel=specs[i].kernel,
+                        state=protocol.FAILED, source="failed",
+                        error=err), None)
+                todo = retry
+                if todo:
+                    tries += 1
+                    time.sleep(max(0.1, wait_hint or poll))
+            reattach: List[int] = []
             for job_id in list(waiting):
-                st = self.status(job_id)
+                try:
+                    st = self.status(job_id)
+                except ServeError as exc:
+                    if exc.kind == "not-found":
+                        # The server restarted and this id died with it;
+                        # the job itself was journaled and replayed.
+                        reattach.append(waiting.pop(job_id))
+                        continue
+                    raise
                 if on_update and seen.get(job_id) != st.state:
                     seen[job_id] = st.state
                     on_update(job_id, st)
                 if st.terminal:
                     idx = waiting.pop(job_id)
-                    outcomes[idx] = self.result(job_id)
-            if waiting:
+                    try:
+                        outcomes[idx] = self.result(job_id)
+                    except ServeError as exc:
+                        if exc.kind != "not-found":
+                            raise
+                        reattach.append(idx)
+            if reattach:
+                self._event(f"server lost {len(reattach)} job id(s) "
+                            f"(restart?); resubmitting to reattach")
+                todo.extend(reattach)
+            if on_poll is not None:
+                on_poll(sum(1 for o in outcomes if o is not None),
+                        len(specs))
+            if waiting and not todo:
                 time.sleep(poll)
         assert all(o is not None for o in outcomes)
         return [o for o in outcomes if o is not None]
@@ -236,13 +355,14 @@ class RemoteRunner(Runner):
                  client_name: str = "cli",
                  keep_going: bool = False,
                  on_update: Optional[Callable[[str, JobStatus],
-                                              None]] = None):
+                                              None]] = None,
+                 on_event: Optional[Callable[[str], None]] = None):
         # jobs=1 and a disabled cache: this process does no local
         # simulation and must not shadow the daemon's persistent cache.
         super().__init__(scale=scale, seed=seed, jobs=1,
                          cache=ResultCache(enabled=False),
                          keep_going=keep_going)
-        self.client = ServeClient(addr)
+        self.client = ServeClient(addr, on_event=on_event)
         self.priority = priority
         self.client_name = client_name
         self.on_update = on_update

@@ -25,7 +25,13 @@ from ..runtime import pool_restart_count
 COUNTER_NAMES = (
     "requests", "jobs_submitted", "jobs_coalesced", "jobs_completed",
     "jobs_failed", "jobs_cancelled", "jobs_rejected", "jobs_shed",
+    "jobs_replayed", "jobs_rejected_degraded", "pool_restarts",
+    "circuit_trips",
 )
+
+#: every state ``/healthz`` can report (exported as a one-hot gauge)
+SERVER_STATES = ("ok", "replaying-journal", "degraded:pool-restarting",
+                 "degraded:circuit-open", "draining")
 
 
 def _quantile(sorted_xs: List[float], q: float) -> float:
@@ -75,13 +81,20 @@ class ServerMetrics:
     # -- export ----------------------------------------------------------
     def snapshot(self, queue_snapshot: Dict[str, int],
                  executor_totals: Dict[str, int],
-                 draining: bool, jobs: Optional[int]) -> Dict[str, object]:
-        """The ``/healthz`` JSON payload."""
+                 state: str, jobs: Optional[int],
+                 journal: Optional[Dict[str, int]] = None,
+                 supervisor: Optional[Dict[str, object]] = None,
+                 ) -> Dict[str, object]:
+        """The ``/healthz`` JSON payload.
+
+        ``state`` is one of :data:`SERVER_STATES`; ``journal`` and
+        ``supervisor`` are the server's crash-safety sub-reports (epoch
+        counts / replay tallies, pool-supervisor state machine)."""
         p50, p95 = self.latency_quantiles()
         cache_hits = (executor_totals["disk_hits"]
                       + executor_totals["memo_hits"])
-        return {
-            "status": "draining" if draining else "ok",
+        out: Dict[str, object] = {
+            "status": state,
             "uptime_seconds": round(self.uptime, 3),
             "jobs": jobs,
             "queue": dict(queue_snapshot),
@@ -94,10 +107,16 @@ class ServerMetrics:
             "latency_seconds": {"p50": round(p50, 6), "p95": round(p95, 6),
                                 "count": self._latency_count},
         }
+        if journal is not None:
+            out["journal"] = dict(journal)
+        if supervisor is not None:
+            out["supervisor"] = dict(supervisor)
+        return out
 
     def render_prometheus(self, queue_snapshot: Dict[str, int],
                           executor_totals: Dict[str, int],
-                          draining: bool) -> str:
+                          state: str,
+                          journal: Optional[Dict[str, int]] = None) -> str:
         """The ``/metrics`` exposition (Prometheus text format 0.0.4)."""
         p50, p95 = self.latency_quantiles()
         lines: List[str] = []
@@ -110,7 +129,13 @@ class ServerMetrics:
             lines.append(f"repro_{name}{labels} {val}")
 
         metric("up", "gauge", "1 while serving, 0 while draining.",
-               0 if draining else 1)
+               0 if state == "draining" else 1)
+        lines.append("# HELP repro_server_state 1 for the daemon's "
+                     "current state, 0 otherwise.")
+        lines.append("# TYPE repro_server_state gauge")
+        for known in SERVER_STATES:
+            lines.append(f'repro_server_state{{state="{known}"}} '
+                         f'{1 if known == state else 0}')
         metric("uptime_seconds", "gauge",
                "Seconds since the daemon started.", self.uptime)
         metric("queue_depth", "gauge",
@@ -129,9 +154,27 @@ class ServerMetrics:
                 ("jobs_cancelled", "Submissions cancelled (client/drain)."),
                 ("jobs_rejected", "Submissions refused by backpressure."),
                 ("jobs_shed", "Queued sweep jobs evicted for interactive "
-                              "work.")):
+                              "work."),
+                ("jobs_replayed", "Incomplete jobs re-enqueued from the "
+                                  "journal at startup."),
+                ("jobs_rejected_degraded",
+                 "Sweep submissions refused while degraded."),
+                ("pool_restarts", "Supervised executor restarts after a "
+                                  "dead batch."),
+                ("circuit_trips", "Times the executor circuit breaker "
+                                  "opened.")):
             metric(f"{name}_total", "counter", help_,
                    self.counters.get(name, 0))
+        if journal is not None:
+            metric("server_restarts_total", "counter",
+                   "Daemon restarts recovered through the job journal.",
+                   max(0, int(journal.get("epochs", 1)) - 1))
+            metric("journal_records_total", "counter",
+                   "Verified records replayed from the journal at "
+                   "startup.", int(journal.get("records", 0)))
+            metric("journal_quarantined_total", "counter",
+                   "Torn/corrupt journal lines quarantined at startup.",
+                   int(journal.get("quarantined", 0)))
         metric("sims_total", "counter",
                "Simulations actually executed by the pool.",
                executor_totals["sims_run"])

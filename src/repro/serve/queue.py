@@ -45,9 +45,11 @@ class Ticket:
     """One client-visible submission (identified by ``id``)."""
 
     __slots__ = ("id", "spec", "key", "state", "source", "error", "stats",
-                 "submitted_at", "started_at", "finished_at", "coalesced")
+                 "submitted_at", "started_at", "finished_at", "coalesced",
+                 "replayed")
 
-    def __init__(self, spec: JobSpec, key: str, now: float):
+    def __init__(self, spec: JobSpec, key: str, now: float,
+                 replayed: bool = False):
         self.id = _new_ticket_id()
         self.spec = spec
         self.key = key
@@ -60,6 +62,10 @@ class Ticket:
         self.finished_at = 0.0
         #: True when this ticket attached to an entry that already existed
         self.coalesced = False
+        #: True for a server-owned ticket resurrected by journal replay
+        #: (no client holds its id; it exists so the re-enqueued job has
+        #: a well-formed entry for resubmitting clients to coalesce on)
+        self.replayed = replayed
 
     def status(self) -> JobStatus:
         return JobStatus(id=self.id, kernel=self.spec.kernel,

@@ -26,6 +26,7 @@ import asyncio
 import json
 import signal
 import sys
+import time
 import traceback
 from collections import deque
 from typing import Deque, Dict, Optional, Tuple
@@ -33,10 +34,12 @@ from urllib.parse import parse_qs, urlsplit
 
 from ..runtime import ResultCache
 from . import protocol
+from .journal import JobJournal, JournalReplay
 from .metrics import ServerMetrics
-from .protocol import ErrorInfo, ProtocolError
+from .protocol import ErrorInfo, JobSpec, ProtocolError
 from .queue import ServeQueue, Ticket
-from .scheduler import AdmissionController, Dispatcher, SimExecutor
+from .scheduler import (AdmissionController, Dispatcher, PoolSupervisor,
+                        SimExecutor)
 
 #: largest accepted request body (a 12-kernel suite submit is ~20 KiB)
 MAX_BODY = 16 * 1024 * 1024
@@ -61,7 +64,9 @@ class ServeServer:
                  timeout: Optional[float] = None,
                  retries: Optional[int] = None,
                  batch_max: int = 32,
-                 grace: float = 0.25):
+                 grace: float = 0.25,
+                 journal: Optional[object] = None,
+                 supervisor: Optional[PoolSupervisor] = None):
         self.host = host
         self.port = port
         self.queue = ServeQueue()
@@ -69,10 +74,22 @@ class ServeServer:
                                     timeout=timeout, retries=retries)
         self.metrics = ServerMetrics()
         self.admission = AdmissionController(queue_depth)
+        #: the write-ahead log; None disables crash safety (tests,
+        #: throwaway servers).  Accepts a path or a JobJournal.
+        if isinstance(journal, str):
+            journal = JobJournal(journal)
+        self.journal: Optional[JobJournal] = journal
+        self.supervisor = PoolSupervisor() if supervisor is None \
+            else supervisor
         self.dispatcher = Dispatcher(self.queue, self.executor,
-                                     self.metrics, batch_max=batch_max)
+                                     self.metrics, batch_max=batch_max,
+                                     supervisor=self.supervisor,
+                                     journal=self.journal)
         self.grace = grace
         self.draining = False
+        self.replaying = False
+        #: startup replay outcome (None when journaling is disabled)
+        self.journal_replay: Optional[JournalReplay] = None
         self._tickets: Dict[str, Ticket] = {}
         self._finished_order: Deque[str] = deque()
         self._server: Optional[asyncio.AbstractServer] = None
@@ -80,14 +97,81 @@ class ServeServer:
         self._shutdown_task: Optional[asyncio.Task] = None
         self.address: Tuple[str, int] = (host, port)
 
+    # -- state -----------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """The structured ``/healthz`` state (see metrics.SERVER_STATES)."""
+        if self.draining:
+            return "draining"
+        if self.replaying:
+            return "replaying-journal"
+        if self.supervisor.degraded:
+            return f"degraded:{self.supervisor.state}"
+        return "ok"
+
+    def _journal_info(self) -> Optional[Dict[str, int]]:
+        if self.journal is None:
+            return None
+        replay = self.journal_replay
+        return {
+            # epochs counts this incarnation's server-start record too
+            "epochs": (replay.epochs if replay is not None else 0) + 1,
+            "records": replay.records if replay is not None else 0,
+            "replayed": self.metrics.counters.get("jobs_replayed", 0),
+            "quarantined": replay.corrupt if replay is not None else 0,
+        }
+
     # -- lifecycle -------------------------------------------------------
     async def start(self) -> None:
+        if self.journal is not None:
+            self.replaying = True
+            try:
+                await asyncio.to_thread(self._recover)
+            finally:
+                self.replaying = False
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         sock = self._server.sockets[0]
         self.address = sock.getsockname()[:2]
         self.port = self.address[1]
         self.dispatcher.start()
+
+    def _recover(self) -> None:
+        """Replay the journal: re-enqueue incomplete jobs, heal the
+        file, stamp this incarnation's epoch record.
+
+        Completed jobs need no action — their results live in the
+        result cache, so a resubmission is served from disk (the replay
+        history still guards against re-simulating them, via the
+        duplicate-sim audit).  Incomplete jobs are re-enqueued under
+        their journaled key; a resubmitting client coalesces onto the
+        replayed entry instead of duplicating the work.
+        """
+        assert self.journal is not None
+        replay = self.journal.replay(quarantine=True)
+        self.journal_replay = replay
+        now = time.monotonic()
+        for key, record in replay.incomplete.items():
+            spec_dict = record.get("spec")
+            try:
+                spec = JobSpec.from_dict(spec_dict)
+            except Exception as exc:
+                # Registry drift (kernel/policy gone): close the job in
+                # the journal instead of resurrecting a zombie.
+                self.journal.note_cancelled(
+                    key, reason=f"unreplayable spec: {exc}")
+                continue
+            ticket = Ticket(spec, key, now, replayed=True)
+            if self.queue.coalesce(ticket) is None:
+                self.queue.push(ticket)
+            self._register(ticket)
+            self.metrics.inc("jobs_replayed")
+        self.journal.note_server_start(
+            replayed=self.metrics.counters.get("jobs_replayed", 0),
+            quarantined=replay.corrupt)
+        if replay.epochs or replay.records:
+            print(f"repro serve: journal replay — {replay.describe()}",
+                  file=sys.stderr, flush=True)
 
     async def wait_stopped(self) -> None:
         await self._stopped.wait()
@@ -108,7 +192,8 @@ class ServeServer:
 
     async def _shutdown(self) -> None:
         self.draining = True
-        for entry in self.queue.drain():
+        drained = self.queue.drain()
+        for entry in drained:
             for ticket in entry.tickets:
                 ticket.state = protocol.CANCELLED
                 ticket.error = ErrorInfo(
@@ -117,12 +202,36 @@ class ServeServer:
                             "dispatched")
                 self._retire(ticket)
                 self.metrics.inc("jobs_cancelled")
+        if self.journal is not None and drained:
+            self.journal.append_many(
+                [("cancelled", e.key, {"reason": "draining"})
+                 for e in drained])
         await self.dispatcher.stop()     # in-flight batch finishes
         self.executor.flush_cache()
+        if self.journal is not None:
+            self.journal.close()
         await asyncio.sleep(self.grace)  # late pollers collect results
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        self._stopped.set()
+
+    def abort(self) -> None:
+        """Crash simulation for tests: drop everything on the floor.
+
+        No drain, no cancel records, no cache flush — the closest an
+        in-process server gets to kill -9.  The dispatcher task is
+        cancelled (an in-flight ``to_thread`` batch keeps running in
+        the background but its outcome is discarded and never
+        journaled), the listener closes, and the journal handle is
+        released so a successor can replay the same file.
+        """
+        if self.dispatcher._task is not None:
+            self.dispatcher._task.cancel()
+        if self.journal is not None:
+            self.journal.close()
+        if self._server is not None:
+            self._server.close()
         self._stopped.set()
 
     # -- ticket registry -------------------------------------------------
@@ -236,13 +345,20 @@ class ServeServer:
                 return self._method_not_allowed()
             return self._cancel(body)
         if path in ("/healthz", f"{protocol.API_PREFIX}/health"):
-            return 200, protocol.ok_envelope(**self.metrics.snapshot(
+            state = self.state
+            payload = protocol.ok_envelope(**self.metrics.snapshot(
                 self.queue.snapshot(), self.executor.totals(),
-                self.draining, self.executor.jobs)), {}
+                state, self.executor.jobs,
+                journal=self._journal_info(),
+                supervisor=self.supervisor.snapshot()))
+            # Anything but plain "ok" answers 503 so load balancers and
+            # ops probes can gate on the HTTP code alone; the JSON body
+            # still says exactly which non-ok state it is.
+            return (200 if state == "ok" else 503), payload, {}
         if path == "/metrics":
             return 200, self.metrics.render_prometheus(
                 self.queue.snapshot(), self.executor.totals(),
-                self.draining), {}
+                self.state, journal=self._journal_info()), {}
         return 404, protocol.error_envelope(ErrorInfo(
             kind="not-found", message=f"no route {method} {path}")), {}
 
@@ -274,6 +390,21 @@ class ServeServer:
                 continue
             ticket = Ticket(spec, key, now)
             entry = self.queue.coalesce(ticket)
+            if entry is None and not self.supervisor.allows(spec.priority):
+                # Circuit open: shed load at the door.  Coalesced
+                # submissions still attach (no new work), interactive
+                # jobs still drain/probe.
+                retry = self.supervisor.retry_after()
+                retry_after = max(retry_after, retry)
+                results.append({"accepted": False, "error": ErrorInfo(
+                    kind="degraded",
+                    message=f"executor degraded "
+                            f"({self.supervisor.state}); sweep refused, "
+                            f"retry in {retry:.1f}s",
+                    retry_after=retry).to_dict()})
+                self.metrics.inc("jobs_rejected_degraded")
+                rejected += 1
+                continue
             if entry is not None:
                 # Fan-in: no new work enters the system, so coalesced
                 # submissions bypass admission control entirely.
@@ -295,6 +426,9 @@ class ServeServer:
                                 "interactive work; resubmit later")
                     self._retire(shed_ticket)
                     self.metrics.inc("jobs_shed")
+                if self.journal is not None:
+                    self.journal.note_cancelled(decision.shed.key,
+                                                reason="shed")
             if not decision.accepted:
                 assert decision.error is not None
                 retry_after = max(retry_after, decision.error.retry_after)
@@ -303,6 +437,14 @@ class ServeServer:
                 self.metrics.inc("jobs_rejected")
                 rejected += 1
                 continue
+            if self.journal is not None:
+                # Durability point: the accept record (with its full
+                # spec) hits disk before the push makes the job
+                # dispatchable and before the client sees the ack.
+                # Synchronous on the loop thread on purpose — the
+                # dispatcher shares this thread, so ``started`` can
+                # never be journaled ahead of ``accepted``.
+                self.journal.note_accepted(key, spec.to_dict())
             self.queue.push(ticket)
             self._register(ticket)
             self.metrics.inc("jobs_submitted")
@@ -370,6 +512,13 @@ class ServeServer:
                                      message="cancelled by client")
             self._retire(ticket)
             self.metrics.inc("jobs_cancelled")
+            if (self.journal is not None
+                    and ticket.key not in self.queue.entries):
+                # The last ticket of its entry: the job itself is gone.
+                # (A coalesced sibling would keep the entry — and the
+                # journaled job — alive.)
+                self.journal.note_cancelled(ticket.key,
+                                            reason="client cancel")
         return 200, protocol.ok_envelope(
             cancelled=cancelled, job=ticket.status().to_dict()), {}
 

@@ -114,6 +114,18 @@ class TestRuntimeCommands:
         rc, out = run_cli(capsys, "cache", "clear")
         assert rc == 0 and "removed 0" in out
 
+    def test_cache_verify_strict_gates_on_quarantine(self, capsys, tmp_path,
+                                                     monkeypatch):
+        import os
+        root = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+        os.makedirs(root / "quarantine")
+        (root / "quarantine" / "0badcafe.json").write_text("junk")
+        rc, out = run_cli(capsys, "cache", "verify")
+        assert rc == 0 and "quarantined: 1" in out
+        rc, _ = run_cli(capsys, "cache", "verify", "--strict")
+        assert rc == 1
+
     def test_suite_populates_cache(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
         rc, out = run_cli(capsys, "suite", "--scheme", "wb",

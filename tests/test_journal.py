@@ -1,0 +1,211 @@
+"""Tests for the serve layer's durable job journal.
+
+The journal is the crash-safety contract: every lifecycle transition
+checksummed and fsync'd before the client sees the ack, torn tails
+quarantined and healed on replay, and the replayed state machine able
+to prove that no job was ever simulated twice.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.serve.journal import (
+    ACCEPTED,
+    COMPLETED,
+    JOURNAL_SCHEMA,
+    JobJournal,
+    replay_journal,
+)
+
+
+def _journal(tmp_path, name="journal.jsonl"):
+    return JobJournal(str(tmp_path / name))
+
+
+def _spec_dict(kernel="gzip"):
+    return {"kernel": kernel, "scale": 0.1, "seed": 1}
+
+
+class TestRoundtrip:
+    def test_lifecycle_roundtrip(self, tmp_path):
+        j = _journal(tmp_path)
+        j.note_server_start()
+        j.note_accepted("k1", _spec_dict())
+        j.note_accepted("k2", _spec_dict("mcf"))
+        j.note_started(["k1", "k2"])
+        j.note_completed("k1", source="sim")
+        j.note_failed("k2", message="boom")
+        j.close()
+
+        replay = replay_journal(j.path)
+        # started(["k1","k2"]) is two records: start + 2 accepts +
+        # 2 starteds + 2 terminals.
+        assert replay.records == 7
+        assert replay.epochs == 1
+        assert replay.corrupt == 0
+        assert replay.consistent
+        assert not replay.incomplete
+        assert replay.terminal == {"k1": "completed", "k2": "failed"}
+        assert replay.completions == {"k1": ["sim"]}
+
+    def test_incomplete_jobs_carry_their_spec(self, tmp_path):
+        j = _journal(tmp_path)
+        j.note_server_start()
+        j.note_accepted("k1", _spec_dict())
+        j.note_started(["k1"])   # crash before terminal
+        j.close()
+
+        replay = replay_journal(j.path)
+        assert list(replay.incomplete) == ["k1"]
+        assert replay.incomplete["k1"]["spec"] == _spec_dict()
+        assert replay.consistent
+
+    def test_append_many_is_one_batch(self, tmp_path):
+        j = _journal(tmp_path)
+        j.append_many([("accepted", f"k{i}", {"spec": _spec_dict()})
+                       for i in range(5)])
+        j.close()
+        replay = replay_journal(j.path)
+        assert replay.records == 5
+        assert replay.last_seq == 5
+
+    def test_seq_resumes_across_incarnations(self, tmp_path):
+        j = _journal(tmp_path)
+        j.note_server_start()
+        j.note_accepted("k1", _spec_dict())
+        j.close()
+
+        j2 = JobJournal(j.path)
+        j2.replay()
+        j2.note_server_start()
+        j2.close()
+        replay = replay_journal(j.path)
+        assert replay.epochs == 2
+        assert replay.last_seq == 3   # continued, not restarted
+
+    def test_missing_file_is_empty_replay(self, tmp_path):
+        replay = replay_journal(str(tmp_path / "nope.jsonl"))
+        assert replay.records == 0
+        assert replay.consistent
+
+
+class TestCorruption:
+    def _write_good_plus(self, tmp_path, bad_lines):
+        j = _journal(tmp_path)
+        j.note_server_start()
+        j.note_accepted("k1", _spec_dict())
+        j.note_completed("k1", source="sim")
+        j.close()
+        with open(j.path, "a", encoding="utf-8") as fh:
+            for line in bad_lines:
+                fh.write(line + "\n")
+        return j.path
+
+    def test_torn_tail_quarantined_and_healed(self, tmp_path):
+        path = self._write_good_plus(tmp_path, ['{"v": 1, "sha256": "to'])
+        replay = replay_journal(path)
+        assert replay.records == 3
+        assert replay.corrupt == 1
+        assert replay.consistent   # corruption is evidence, not violation
+        assert replay.quarantine_path == path + ".quarantine"
+        with open(replay.quarantine_path) as fh:
+            q = fh.read()
+        assert "# line 4" in q and '"to' in q
+
+        # Healed: a second replay sees a clean journal (idempotent).
+        again = replay_journal(path)
+        assert again.corrupt == 0
+        assert again.records == 3
+
+    def test_checksum_mismatch_is_corrupt(self, tmp_path):
+        forged = json.dumps({"v": JOURNAL_SCHEMA, "sha256": "0" * 64,
+                             "record": {"event": COMPLETED, "key": "kX",
+                                        "seq": 99, "source": "sim"}})
+        path = self._write_good_plus(tmp_path, [forged])
+        replay = replay_journal(path)
+        assert replay.corrupt == 1
+        # The forged completion never entered the state machine.
+        assert "kX" not in replay.terminal
+
+    def test_garbage_and_non_object_lines(self, tmp_path):
+        path = self._write_good_plus(
+            tmp_path, ["\x00\x01binary", "[1, 2, 3]", "{}"])
+        replay = replay_journal(path)
+        assert replay.corrupt == 3
+        assert replay.records == 3
+
+    def test_other_schema_is_stale_not_corrupt(self, tmp_path):
+        other = json.dumps({"v": JOURNAL_SCHEMA + 1, "sha256": "x",
+                            "record": {"event": ACCEPTED, "key": "k9"}})
+        path = self._write_good_plus(tmp_path, [other])
+        replay = replay_journal(path)
+        assert replay.stale == 1
+        assert replay.corrupt == 0
+
+    def test_audit_mode_mutates_nothing(self, tmp_path):
+        path = self._write_good_plus(tmp_path, ['{"torn'])
+        before = open(path).read()
+        replay = replay_journal(path, quarantine=False)
+        assert replay.corrupt == 1
+        assert open(path).read() == before
+        assert not os.path.exists(path + ".quarantine")
+
+
+class TestStateMachine:
+    def test_resubmission_after_terminal_is_legal(self, tmp_path):
+        j = _journal(tmp_path)
+        j.note_accepted("k1", _spec_dict())
+        j.note_completed("k1", source="sim")
+        j.note_accepted("k1", _spec_dict())   # resubmit after restart
+        j.note_completed("k1", source="disk")
+        j.close()
+        replay = replay_journal(j.path)
+        assert replay.consistent
+        assert replay.completions["k1"] == ["sim", "disk"]
+
+    def test_duplicate_sim_is_the_violation(self, tmp_path):
+        j = _journal(tmp_path)
+        j.note_accepted("k1", _spec_dict())
+        j.note_completed("k1", source="sim")
+        j.note_accepted("k1", _spec_dict())
+        j.note_completed("k1", source="sim")   # simulated twice!
+        j.close()
+        replay = replay_journal(j.path)
+        assert replay.duplicate_sims() == ["k1"]
+        assert not replay.consistent
+
+    def test_double_accept_without_terminal_is_violation(self, tmp_path):
+        j = _journal(tmp_path)
+        j.note_accepted("k1", _spec_dict())
+        j.note_accepted("k1", _spec_dict())
+        j.close()
+        replay = replay_journal(j.path)
+        assert len(replay.violations) == 1
+        assert not replay.consistent
+
+    def test_terminal_without_accept_is_violation(self, tmp_path):
+        j = _journal(tmp_path)
+        j.note_completed("k1", source="sim")
+        j.close()
+        replay = replay_journal(j.path)
+        assert replay.violations
+        assert not replay.consistent
+
+    def test_started_without_accept_is_violation(self, tmp_path):
+        j = _journal(tmp_path)
+        j.note_started(["k1"])
+        j.close()
+        assert replay_journal(j.path).violations
+
+    @pytest.mark.parametrize("reason", ["shed", "draining", "client"])
+    def test_cancelled_closes_the_job(self, tmp_path, reason):
+        j = _journal(tmp_path)
+        j.note_accepted("k1", _spec_dict())
+        j.note_cancelled("k1", reason=reason)
+        j.close()
+        replay = replay_journal(j.path)
+        assert replay.consistent
+        assert not replay.incomplete
+        assert replay.terminal == {"k1": "cancelled"}

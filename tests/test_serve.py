@@ -217,8 +217,9 @@ class TestMetrics:
         m.observe_latency(1.5)
         text = m.render_prometheus(
             {"depth": 2, "inflight": 1, "queued_tickets": 2},
-            {"sims_run": 5, "disk_hits": 4, "memo_hits": 3}, False)
+            {"sims_run": 5, "disk_hits": 4, "memo_hits": 3}, "ok")
         assert "repro_up 1" in text
+        assert 'repro_server_state{state="ok"} 1' in text
         assert "repro_jobs_submitted_total 3" in text
         assert 'repro_cache_hits_total{layer="disk"} 4' in text
         assert 'repro_cache_hits_total{layer="memo"} 3' in text
@@ -229,7 +230,7 @@ class TestMetrics:
         m = ServerMetrics()
         snap = m.snapshot({"depth": 0, "inflight": 0, "queued_tickets": 0},
                           {"sims_run": 2, "disk_hits": 1, "memo_hits": 0},
-                          draining=True, jobs=4)
+                          state="draining", jobs=4)
         assert snap["status"] == "draining"
         assert snap["cache_hits"] == 1
         assert snap["latency_seconds"]["count"] == 0
@@ -491,3 +492,222 @@ class TestRemoteRunner:
         runner = RemoteRunner("127.0.0.1:1", scale=SCALE, seed=SEED)
         with pytest.raises(ServeError, match="cannot reach"):
             runner.run("gzip", ProcessorConfig())
+
+
+# -- crash safety -----------------------------------------------------------
+
+class TestCrashRecovery:
+    """The journal contract, end to end: a crashed incarnation's work
+    survives into its successor with nothing lost and nothing re-run."""
+
+    def test_restart_replays_incomplete_and_serves_completed(self, tmp_path):
+        from repro.serve.journal import replay_journal
+
+        jpath = str(tmp_path / "journal.jsonl")
+        cfg = ProcessorConfig()
+        done_spec = JobSpec(kernel="gzip", scale=SCALE, seed=SEED)
+        lost_spec = JobSpec(kernel="mcf", scale=SCALE, seed=SEED)
+        expected = {
+            "gzip": run_kernel("gzip", cfg, scale=SCALE, seed=SEED),
+            "mcf": run_kernel("mcf", cfg, scale=SCALE, seed=SEED),
+        }
+
+        # Incarnation 1: complete one job, then crash with a second
+        # job journaled as accepted but never dispatched.
+        server1 = _serve_fixture(tmp_path, journal=jpath)
+
+        async def crash_run():
+            await server1.start()
+            host, port = server1.address
+            client = ServeClient(f"{host}:{port}", timeout=30.0)
+            [(status, _)] = await asyncio.to_thread(
+                client.run, [done_spec])
+            assert status.state == protocol.DONE
+            server1.journal.note_accepted(
+                lost_spec.cache_key(), lost_spec.to_dict())
+            server1.abort()   # kill -9, in spirit
+
+        asyncio.run(crash_run())
+
+        # Incarnation 2: same journal, same cache root.
+        server2 = _serve_fixture(tmp_path, journal=jpath)
+
+        def drive(client):
+            return client.run([done_spec, lost_spec])
+
+        outcomes = _drive(server2, drive)
+
+        # The incomplete job was re-enqueued from the journal...
+        assert server2.metrics.counters["jobs_replayed"] == 1
+        assert server2.journal_replay.epochs == 1   # predecessor's mark
+        assert list(server2.journal_replay.incomplete) \
+            == [lost_spec.cache_key()]
+        # ...the completed one came back from the result cache, and
+        # nothing was simulated twice.
+        for (status, stats), kernel in zip(outcomes, ("gzip", "mcf")):
+            assert status.state == protocol.DONE
+            assert SimStats.from_dict(stats) == expected[kernel]
+        done_status = outcomes[0][0]
+        assert done_status.source in ("disk", "memo")
+        assert server2.executor.totals()["sims_run"] == 1   # mcf only
+
+        # The journal's whole history audits clean.
+        replay = replay_journal(jpath, quarantine=False)
+        assert replay.consistent
+        assert replay.duplicate_sims() == []
+        assert replay.epochs == 2
+
+    def test_corrupt_tail_quarantined_on_startup(self, tmp_path):
+        jpath = str(tmp_path / "journal.jsonl")
+        with open(jpath, "w", encoding="utf-8") as fh:
+            fh.write('{"v": 1, "sha256": "torn-mid-wri\n')
+
+        server = _serve_fixture(tmp_path, journal=jpath)
+
+        def drive(client):
+            [(status, _)] = client.run(
+                [JobSpec(kernel="gzip", scale=SCALE, seed=SEED)])
+            return status
+
+        status = _drive(server, drive)
+        assert status.state == protocol.DONE
+        assert server.journal_replay.corrupt == 1
+        with open(jpath + ".quarantine", encoding="utf-8") as fh:
+            assert "# line 1" in fh.read()
+
+    def test_healthz_codes_follow_server_state(self, tmp_path):
+        from repro.serve.scheduler import PoolSupervisor
+
+        server = _serve_fixture(tmp_path)
+
+        def drive(client):
+            status, env = client._request("GET", "/healthz")
+            assert status == 200 and env["status"] == "ok"
+            server.supervisor.state = PoolSupervisor.OPEN
+            server.supervisor._opened_at = server.supervisor._clock()
+            status, env = client._request("GET", "/healthz")
+            assert status == 503
+            assert env["status"] == "degraded:circuit-open"
+            server.supervisor.state = PoolSupervisor.OK
+            return True
+
+        assert _drive(server, drive)
+
+    def test_open_breaker_refuses_sweeps_admits_interactive(self, tmp_path):
+        from repro.serve.protocol import ErrorInfo
+        from repro.serve.scheduler import PoolSupervisor
+
+        server = _serve_fixture(tmp_path)
+
+        def drive(client):
+            server.supervisor.state = PoolSupervisor.OPEN
+            server.supervisor._opened_at = server.supervisor._clock()
+            sweep = JobSpec(kernel="gzip", scale=SCALE, seed=SEED,
+                            priority="sweep")
+            [decision] = client.submit([sweep])
+            assert not decision.get("accepted")
+            err = ErrorInfo.from_dict(decision.get("error"))
+            assert err.kind == "degraded"
+            assert err.retry_after > 0
+
+            # An interactive probe drains, and its healthy outcome
+            # closes the breaker (the half-open probe path).
+            probe = JobSpec(kernel="gzip", scale=SCALE, seed=SEED,
+                            priority="interactive")
+            [(status, _)] = client.run([probe])
+            assert status.state == protocol.DONE
+            assert server.supervisor.state == PoolSupervisor.OK
+
+            [decision] = client.submit([sweep])
+            return decision
+
+        decision = _drive(server, drive)
+        assert decision.get("accepted")
+
+    def test_chaos_drop_reconnects_and_coalesces(self, tmp_path):
+        """A connection cut after the submit is sent must not lose or
+        duplicate the job: the retry coalesces onto the accepted one."""
+        server = _serve_fixture(tmp_path)
+        cfg = ProcessorConfig()
+        expected = run_kernel("gzip", cfg, scale=SCALE, seed=SEED)
+
+        def drive(client):
+            drops = {"submit": 1, "poll": 1}
+
+            def drop(method, path):
+                if method == "POST" and path.endswith("/submit") \
+                        and drops["submit"]:
+                    drops["submit"] -= 1
+                    return True
+                if method == "GET" and "/status" in path \
+                        and drops["poll"]:
+                    drops["poll"] -= 1
+                    return True
+                return False
+
+            client.chaos_drop = drop
+            [(status, stats)] = client.run(
+                [JobSpec(kernel="gzip", scale=SCALE, seed=SEED)])
+            assert drops == {"submit": 0, "poll": 0}   # both fired
+            assert status.state == protocol.DONE
+            return stats
+
+        stats = _drive(server, drive)
+        assert SimStats.from_dict(stats) == expected
+        assert server.executor.totals()["sims_run"] == 1
+
+
+class TestPoolSupervisor:
+    def _sup(self, **kw):
+        from repro.serve.scheduler import PoolSupervisor
+        clock = {"now": 0.0}
+        sup = PoolSupervisor(clock=lambda: clock["now"], **kw)
+        return sup, clock
+
+    def test_breaker_lifecycle(self):
+        from repro.serve.scheduler import PoolSupervisor
+        sup, clock = self._sup(max_restarts=2, cooldown=10.0)
+        assert sup.note_transient() is True
+        assert sup.state == PoolSupervisor.RESTARTING
+        assert sup.note_transient() is True
+        assert sup.restarts == 2
+        assert sup.note_transient() is False      # third strike trips
+        assert sup.state == PoolSupervisor.OPEN
+        assert sup.trips == 1
+        assert not sup.allows("sweep")
+        assert sup.allows("interactive")
+        assert 0.5 <= sup.retry_after() <= 10.0
+        clock["now"] = 10.5                        # cooldown elapsed
+        assert sup.allows("sweep")                 # half-open
+        sup.note_ok()
+        assert sup.state == PoolSupervisor.OK
+        assert sup.consecutive == 0
+
+    def test_backoff_is_capped_exponential(self):
+        sup, _ = self._sup(max_restarts=10, backoff_base=0.5,
+                           backoff_cap=2.0)
+        delays = []
+        for _ in range(4):
+            sup.note_transient()
+            delays.append(sup.backoff())
+        assert delays == [0.5, 1.0, 2.0, 2.0]
+
+    def test_batch_transient_classification(self):
+        from repro.runtime.parallel import FailedResult
+        from repro.serve.scheduler import PoolSupervisor
+
+        class E:
+            def __init__(self, key):
+                self.key = key
+
+        def failed(phase):
+            return FailedResult("gzip", SCALE, SEED, "x", phase=phase)
+
+        entries = [E("a"), E("b")]
+        all_timeout = {"a": (failed("timeout"), "failed"),
+                       "b": (failed("pool"), "failed")}
+        assert PoolSupervisor.batch_transient(entries, all_timeout)
+        mixed = {"a": (failed("timeout"), "failed"),
+                 "b": (failed("worker"), "failed")}
+        assert not PoolSupervisor.batch_transient(entries, mixed)
+        assert not PoolSupervisor.batch_transient([], {})
