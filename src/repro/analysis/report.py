@@ -15,7 +15,13 @@ def format_table(title: str, headers: Sequence[str],
                 # NaN marks a failed simulation (runtime keep-going
                 # holes) — render an explicit gap, not 'nan'.
                 return "--"
-            return floatfmt.format(v)
+            text = floatfmt.format(v)
+            if getattr(v, "sampled_marker", False):
+                # A sampled *estimate* (repro.sampling) — the ~ prefix
+                # keeps estimated numbers visually distinct from exact
+                # ones everywhere without per-table plumbing.
+                return "~" + text
+            return text
         return str(v)
 
     str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]

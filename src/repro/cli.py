@@ -126,8 +126,19 @@ def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
                         "--retries then apply daemon-side)")
 
 
+def _add_sample_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--sample", nargs="?", const="auto", default=None,
+                   metavar="SPEC",
+                   help="statistical sampling: estimate each run from "
+                        "detailed intervals booted off shared functional "
+                        "checkpoints instead of simulating every "
+                        "instruction ('auto', or 'k=8,w=150,m=250'); "
+                        "IPC values are then estimates marked with '~'")
+
+
 def _make_runner(args: argparse.Namespace, scale=None, seed=None):
     """The sweep runner: local pool, or a thin client of ``--server``."""
+    sampling = getattr(args, "sample", None)
     if getattr(args, "server", None):
         import os
         from .serve.client import RemoteRunner
@@ -135,11 +146,12 @@ def _make_runner(args: argparse.Namespace, scale=None, seed=None):
                             keep_going=args.keep_going,
                             client_name=f"cli-{os.getpid()}",
                             on_event=lambda m: print(
-                                f"repro: {m}", file=sys.stderr))
+                                f"repro: {m}", file=sys.stderr),
+                            sampling=sampling)
     from .experiments.common import Runner
     return Runner(scale=scale, seed=seed, jobs=args.jobs,
                   keep_going=args.keep_going, timeout=args.timeout,
-                  retries=args.retries)
+                  retries=args.retries, sampling=sampling)
 
 
 def _finish_sweep(runner) -> int:
@@ -162,6 +174,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     import os
     from .observe import make_observer
     prog = _load_program(args)
+    if args.sample is not None:
+        return _run_sampled(args, prog)
     spec = args.observe if args.observe is not None \
         else os.environ.get("REPRO_OBSERVE")
     observer = make_observer(spec)
@@ -210,6 +224,43 @@ def cmd_run(args: argparse.Namespace) -> int:
         if report:
             print()
             print(report)
+    return 0
+
+
+def _run_sampled(args: argparse.Namespace, prog) -> int:
+    """``repro run --sample``: a sampled estimate for one program.
+
+    Works for registry kernels and ad-hoc ``.s`` files alike — the
+    checkpoint store keys on the program's content fingerprint, not its
+    registry name.
+    """
+    if args.observe or args.faults or args.check:
+        print("error: --sample does not compose with --observe, "
+              "--faults or --check (a stitched estimate has no "
+              "contiguous cycle stream)", file=sys.stderr)
+        return 2
+    from .sampling import SamplingError, sample_program
+    cfg = make_config(args)
+    try:
+        st, plan = sample_program(prog, cfg, args.sample)
+    except (SamplingError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    measured = sum(iv.measure for iv in plan.intervals)
+    warm = plan.detailed_instructions - measured
+    print(f"program            : {prog.name} ({len(prog)} static instrs)")
+    print(f"sampled            : {plan.k} interval(s), {measured} of "
+          f"{plan.total} instrs measured ({measured / plan.total:.1%}, "
+          f"+{warm} warmup), ±{st.sample_rel_ci:.1%} CI")
+    print(f"committed / cycles : {st.committed} / ~{st.cycles}")
+    print(f"IPC                : ~{float(st.ipc):.3f}")
+    print(f"branch mispredicts : ~{st.mispredicts} "
+          f"({st.mispredict_rate:.1%} of conditional branches)")
+    if cfg.ci_policy is not None:
+        print(f"reused instructions: ~{st.committed_reused} "
+              f"({st.reuse_fraction:.1%} of committed)")
+    print(f"L1 accesses        : ~{st.l1d_accesses} "
+          f"({st.l1d_misses} misses)")
     return 0
 
 
@@ -264,6 +315,9 @@ def _suite_table(stats, runner, cfg, args: argparse.Namespace) -> str:
         rows.append([name, st.ipc, f"{st.mispredict_rate:.1%}",
                      f"{st.reuse_fraction:.1%}", st.cycles])
     hmean = harmonic_mean(ipcs) if ipcs else float("nan")
+    if any(getattr(ipc, "sampled_marker", False) for ipc in ipcs):
+        from .uarch.stats import SampledFloat
+        hmean = SampledFloat(hmean)
     rows.append(["INT(hmean)", hmean,
                  "" if not runner.failures else "(partial)", "", ""])
     label = cfg.ci_policy if cfg.ci_policy is not None else args.scheme
@@ -313,7 +367,9 @@ def cmd_ablation(args: argparse.Namespace) -> int:
 
 def cmd_cache(args: argparse.Namespace) -> int:
     from .runtime import CACHE_SCHEMA, ResultCache
+    from .sampling import CheckpointStore
     cache = ResultCache()
+    store = CheckpointStore()
     if args.action == "info":
         info = cache.info()
         print(f"cache root : {info['root']}")
@@ -325,6 +381,12 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"hits       : {info['hits']}")
         print(f"misses     : {info['misses']}")
         print(f"coalesced  : {info['coalesced']}")
+        cinfo = store.info()
+        print(f"checkpoints: {cinfo['entries']} entr"
+              f"{'y' if cinfo['entries'] == 1 else 'ies'}, "
+              f"{cinfo['bytes'] / 1024:.1f} KiB, "
+              f"{cinfo['quarantined']} quarantined "
+              f"({cinfo['root']})")
     elif args.action == "verify":
         report = cache.verify()
         print(f"cache root : {report['root']}")
@@ -333,16 +395,26 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"quarantined: {report['quarantined']}")
         for item in report["bad"]:
             print(f"  quarantined {item['path']}: {item['reason']}")
-        if report["corrupt"]:
+        creport = store.verify()
+        print(f"checkpoints: {creport['ok']} ok, {creport['stale']} "
+              f"stale, {creport['corrupt']} corrupt, "
+              f"{creport['quarantined']} quarantined")
+        for item in creport["bad"]:
+            print(f"  quarantined {item['path']}: {item['reason']}")
+        if report["corrupt"] or creport["corrupt"]:
             return 1
-        if args.strict and report["quarantined"]:
+        if args.strict and (report["quarantined"]
+                            or creport["quarantined"]):
             print("strict: quarantined entries present; inspect or clear "
                   f"{report['root']}/quarantine", file=sys.stderr)
             return 1
     else:  # clear
         removed = cache.clear()
+        cremoved = store.clear()
         print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
               f"from {cache.root}")
+        print(f"removed {cremoved} checkpoint entr"
+              f"{'y' if cremoved == 1 else 'ies'} from {store.root}")
     return 0
 
 
@@ -580,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--check", action="store_true",
                     help="arm the per-cycle invariant checker and the "
                          "final-state oracle (default: REPRO_CHECK)")
+    _add_sample_arg(pr)
     pr.set_defaults(fn=cmd_run)
 
     pv = sub.add_parser("pipeview",
@@ -606,6 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
     ps = sub.add_parser("suite", help="run all kernels under one scheme")
     _add_machine_args(ps)
     _add_jobs_arg(ps)
+    _add_sample_arg(ps)
     ps.set_defaults(fn=cmd_suite)
 
     pf = sub.add_parser("figure", help="regenerate a paper figure")
@@ -614,6 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "(the full EXPERIMENTS.md report)")
     pf.add_argument("--scale", type=float, default=0.5)
     _add_jobs_arg(pf)
+    _add_sample_arg(pf)
     pf.set_defaults(fn=cmd_figure)
 
     pa = sub.add_parser("ablation", help="run a design-choice ablation")

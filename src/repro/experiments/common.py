@@ -96,12 +96,14 @@ class Runner(ParallelRunner):
                  observe: Optional[str] = None,
                  keep_going: bool = False,
                  timeout: Optional[float] = None,
-                 retries: Optional[int] = None):
+                 retries: Optional[int] = None,
+                 sampling: Optional[str] = None):
         super().__init__(
             scale=EXPERIMENT_SCALE if scale is None else scale,
             seed=EXPERIMENT_SEED if seed is None else seed,
             jobs=jobs, cache=cache, observe=observe,
-            keep_going=keep_going, timeout=timeout, retries=retries)
+            keep_going=keep_going, timeout=timeout, retries=retries,
+            sampling=sampling)
 
     def run_suite(self, cfg: ProcessorConfig) -> Dict[str, SimStats]:
         names = kernel_names()

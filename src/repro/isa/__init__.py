@@ -2,7 +2,13 @@
 
 from .assembler import Assembler, AssemblerError, assemble
 from .instructions import NUM_LOGICAL_REGS, Instruction, make_nop
-from .interp import InterpResult, InterpreterError, run
+from .interp import (
+    InterpError,
+    InterpResult,
+    InterpreterError,
+    StepLimitExceeded,
+    run,
+)
 from .opcodes import (
     ALU_EVAL,
     BRANCH_COND,
@@ -29,8 +35,10 @@ __all__ = [
     "FU_LATENCY",
     "FU_OF_OP",
     "Instruction",
+    "InterpError",
     "InterpResult",
     "InterpreterError",
+    "StepLimitExceeded",
     "MASK64",
     "NUM_LOGICAL_REGS",
     "Op",

@@ -26,8 +26,31 @@ from .instructions import (
 from .program import Program
 
 
-class InterpreterError(RuntimeError):
-    """Raised on runaway executions or malformed memory accesses."""
+class InterpError(RuntimeError):
+    """Raised on runaway executions or malformed memory accesses.
+
+    Step-limit exhaustion raises the :class:`StepLimitExceeded` subclass
+    explicitly (unless the caller opts into partial results with
+    ``allow_partial=True``), so a truncated functional run can never
+    masquerade as a completed one.
+    """
+
+
+#: historical name, kept as an alias for existing callers/tests
+InterpreterError = InterpError
+
+
+class StepLimitExceeded(InterpError):
+    """``run`` consumed ``max_steps`` without reaching HALT.
+
+    Carries the in-flight :class:`InterpResult` (``halted=False``, with
+    the ``pc`` cursor) as ``partial`` so diagnostic callers can inspect
+    how far execution got without opting into ``allow_partial``.
+    """
+
+    def __init__(self, message: str, partial: "InterpResult"):
+        super().__init__(message)
+        self.partial = partial
 
 
 @dataclass
@@ -43,6 +66,9 @@ class InterpResult:
     taken: int = 0
     loads: int = 0
     stores: int = 0
+    #: resume cursor: the next PC to execute (the HALT's own pc when
+    #: ``halted``; out of code range when execution ran off the end)
+    pc: int = 0
 
     def reg(self, n: int) -> int:
         return self.regs[n]
@@ -61,11 +87,21 @@ def run(
     trace_hook: Optional[TraceHook] = None,
     regs: Optional[List[int]] = None,
     memory: Optional[Dict[int, int]] = None,
+    start_pc: int = 0,
+    allow_partial: bool = False,
 ) -> InterpResult:
     """Execute ``program`` functionally until HALT or ``max_steps``.
 
     ``regs``/``memory`` may be supplied to resume or seed state; they are
-    mutated in place when given.
+    mutated in place when given, and ``start_pc`` sets the resume cursor
+    (together these three are exactly a functional checkpoint — see
+    :mod:`repro.sampling.checkpoint`).
+
+    Exhausting ``max_steps`` raises :class:`StepLimitExceeded` so a
+    truncated run cannot masquerade as a completed one.  Fast-forward
+    callers that *want* to stop at an instruction boundary pass
+    ``allow_partial=True`` and receive the partial :class:`InterpResult`
+    (``halted=False``) with the ``pc`` cursor ready for resumption.
     """
     code = program.code
     if regs is None:
@@ -89,15 +125,22 @@ def run(
     alu_a = image.alu_fn
     branch_a = image.branch_fn
 
-    pc = 0
+    pc = start_pc
     steps = branches = taken = loads = stores = 0
     mask64 = (1 << 64) - 1
     mem_get = memory.get
 
     while 0 <= pc < ncode:
         if steps >= max_steps:
-            raise InterpreterError(
-                f"program {program.name!r} exceeded {max_steps} steps (pc={pc})")
+            partial = InterpResult(steps=steps, halted=False, regs=regs,
+                                   memory=memory, branches=branches,
+                                   taken=taken, loads=loads, stores=stores,
+                                   pc=pc)
+            if allow_partial:
+                return partial
+            raise StepLimitExceeded(
+                f"program {program.name!r} exceeded {max_steps} steps "
+                f"(pc={pc}) without reaching HALT", partial)
         steps += 1
         kind = kind_a[pc]
         next_pc = pc + 1
@@ -128,11 +171,11 @@ def run(
                 trace_hook(pc, code[pc], None, None)
             return InterpResult(steps=steps, halted=True, regs=regs,
                                 memory=memory, branches=branches, taken=taken,
-                                loads=loads, stores=stores)
+                                loads=loads, stores=stores, pc=pc)
         elif kind == K_NOP:
             pass
         else:  # pragma: no cover - defensive
-            raise InterpreterError(
+            raise InterpError(
                 f"unimplemented opcode {code[pc].op!r} at pc={pc}")
 
         if trace_hook is not None:
@@ -141,4 +184,4 @@ def run(
 
     return InterpResult(steps=steps, halted=False, regs=regs, memory=memory,
                         branches=branches, taken=taken, loads=loads,
-                        stores=stores)
+                        stores=stores, pc=pc)

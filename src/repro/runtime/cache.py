@@ -66,6 +66,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: subdirectory (under the cache root) where corrupt entries are parked
 QUARANTINE_DIR = "quarantine"
 
+#: subdirectory (under the cache root) owned by the sampling checkpoint
+#: store (:mod:`repro.sampling.checkpoint`); its files are envelopes of a
+#: different schema, so every result-entry walk must prune it — auditing
+#: them here would quarantine perfectly good checkpoints
+CHECKPOINT_SUBDIR = "checkpoints"
+
 #: file (directly under the cache root) holding the lifetime hit/miss/
 #: coalesce tallies; excluded from entry walks by name
 COUNTERS_FILE = "counters.json"
@@ -263,6 +269,9 @@ class ResultCache:
 
     def _entries(self):
         for dirpath, dirnames, filenames in os.walk(self.root):
+            if dirpath == self.root:
+                dirnames[:] = [d for d in dirnames
+                               if d != CHECKPOINT_SUBDIR]
             if os.path.basename(dirpath) == QUARANTINE_DIR:
                 dirnames[:] = []
                 continue
@@ -326,7 +335,10 @@ class ResultCache:
         entries = 0
         size = 0
         quarantined = 0
-        for dirpath, _dirnames, filenames in os.walk(self.root):
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            if dirpath == self.root:
+                dirnames[:] = [d for d in dirnames
+                               if d != CHECKPOINT_SUBDIR]
             in_quarantine = os.path.basename(dirpath) == QUARANTINE_DIR
             for name in filenames:
                 if name.endswith(".json") and name != COUNTERS_FILE:
@@ -350,7 +362,10 @@ class ResultCache:
         """Delete every cache entry (and reset the lifetime tallies);
         returns the number of entries removed."""
         removed = 0
-        for dirpath, _dirnames, filenames in os.walk(self.root):
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            if dirpath == self.root:
+                dirnames[:] = [d for d in dirnames
+                               if d != CHECKPOINT_SUBDIR]
             for name in filenames:
                 if name == COUNTERS_FILE:
                     continue

@@ -18,7 +18,10 @@ the serve layer's coalescing index and a JSON-round-tripped
 * :func:`run_key` — :func:`job_key` for a :class:`RunSpec`, folding in
   its fault plan when one is attached;
 * :func:`stats_digest` — the integrity checksum of a cache envelope's
-  stats payload.
+  stats payload;
+* :func:`checkpoint_key` — the name of one functional checkpoint in the
+  sampling subsystem's store (program fingerprint + boundary only, so
+  every config/policy point of a sweep shares it).
 
 A CI lint asserts ``hashlib`` appears nowhere else under ``src/repro``
 (and ``tests/test_run_spec.py`` enforces the same), which is what makes
@@ -49,6 +52,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: bump when the timing model's behaviour changes (invalidates all
 #: cached entries); schema 2 introduced the checksummed envelope
 CACHE_SCHEMA = 2
+
+#: bump when the functional-checkpoint payload layout changes
+#: (invalidates the checkpoint store — see repro.sampling.checkpoint)
+CHECKPOINT_SCHEMA = 1
 
 
 def config_token(cfg: "ProcessorConfig") -> str:
@@ -170,14 +177,16 @@ def run_key(spec: "RunSpec") -> str:
     program under the resolved config — the same key the disk cache has
     always used, so adopting ``RunSpec`` invalidates nothing.  A spec
     carrying a fault plan gets a derived key folding the plan spec in,
-    keeping perturbed runs disjoint from the clean-result namespace.
+    keeping perturbed runs disjoint from the clean-result namespace; a
+    sampling spec folds in the same way, so sampled *estimates* never
+    collide with exact results (and each interval job has its own key).
 
     Transport and observation fields (serve priority/client, observer
     specs) are deliberately excluded: they change how a run is executed
     or watched, never its stats.
     """
     ident = (spec.kernel, spec.scale, spec.seed, spec.cfg, spec.policy,
-             spec.faults)
+             spec.faults, spec.sampling)
     with _key_lock:
         key = _key_memo.get(ident)
         if key is None:
@@ -188,7 +197,31 @@ def run_key(spec: "RunSpec") -> str:
                 h = hashlib.sha256(key.encode())
                 h.update(f"\nfaults={spec.faults}".encode())
                 key = h.hexdigest()
+            if spec.sampling:
+                h = hashlib.sha256(key.encode())
+                h.update(f"\nsampling={spec.sampling}".encode())
+                key = h.hexdigest()
             while len(_key_memo) >= _KEY_MEMO_CAP:
                 _key_memo.pop(next(iter(_key_memo)))
             _key_memo[ident] = key
     return key
+
+
+# -- functional checkpoints ---------------------------------------------------
+
+def checkpoint_key(fingerprint: str, boundary) -> str:
+    """Content-addressed name of one functional checkpoint (or meta entry).
+
+    Keyed by the *program fingerprint* and the instruction ``boundary``
+    alone — deliberately no config, policy, scale or seed beyond what
+    the fingerprint already pins: architectural state at an instruction
+    boundary depends only on the program, so every policy/config point
+    of a sweep shares the same checkpoint.  ``boundary`` is an
+    instruction index, or the string ``"meta"`` for the per-program
+    metadata entry (total dynamic length).
+    """
+    h = hashlib.sha256()
+    h.update(f"ckpt-schema={CHECKPOINT_SCHEMA}\n".encode())
+    h.update(f"program={fingerprint}\n".encode())
+    h.update(f"boundary={boundary}".encode())
+    return h.hexdigest()

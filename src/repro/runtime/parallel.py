@@ -205,6 +205,9 @@ def _run_job(job: SimJob) -> Tuple[Optional[dict], Optional[dict],
     ``REPRO_FAULTS`` environment fallback inside ``run_program``).
     """
     try:
+        if job.sampling:
+            from ..sampling.executor import run_sampled_job
+            return run_sampled_job(job).to_dict(), None, None
         from .. import run_program
         from ..observe import make_observer
         prog = cached_program(job.kernel, job.scale, job.seed)
@@ -487,6 +490,14 @@ def _env_truthy(name: str) -> bool:
     return os.environ.get(name, "").lower() in ("1", "on", "yes", "true")
 
 
+def _is_interval_token(text: Optional[str]) -> bool:
+    """Does a sampling string name one interval job? (lazy import)"""
+    if not text:
+        return False
+    from ..sampling.plan import is_interval_token
+    return is_interval_token(text)
+
+
 class ParallelRunner:
     """Memoising simulation runner with a worker pool and a disk cache.
 
@@ -508,7 +519,8 @@ class ParallelRunner:
                  observe: Optional[str] = None,
                  keep_going: bool = False,
                  timeout: Optional[float] = None,
-                 retries: Optional[int] = None):
+                 retries: Optional[int] = None,
+                 sampling: Optional[str] = None):
         self.scale = scale
         self.seed = seed
         self.jobs = default_jobs() if jobs is None else max(1, jobs)
@@ -519,6 +531,12 @@ class ParallelRunner:
         #: (cached results carry no events, so observing bypasses the
         #: memo/disk lookups and re-simulates — stats stay identical)
         self.observe = observe
+        #: sampling spec applied to every *plain* run this runner
+        #: executes (specs already carrying sampling, faults or an
+        #: observer are left alone) — how ``--sample`` reaches figure
+        #: sweeps without each experiment learning the flag
+        self.sampling = sampling
+        self._ckpt_store = None
         self.keep_going = keep_going or _env_truthy("REPRO_KEEP_GOING")
         self.timeout = timeout
         self.retries = retries
@@ -569,7 +587,17 @@ class ParallelRunner:
             spec = RunSpec(name, self.scale, self.seed, cfg)
         if self.observe is not None and spec.observe is None:
             spec = replace(spec, observe=self.observe)
+        if self.sampling is not None and spec.sampling is None \
+                and spec.observe is None and spec.faults is None:
+            spec = replace(spec, sampling=self.sampling)
         return spec
+
+    def checkpoint_store(self):
+        """The (lazily built) shared functional-checkpoint store."""
+        if self._ckpt_store is None:
+            from ..sampling.checkpoint import CheckpointStore
+            self._ckpt_store = CheckpointStore()
+        return self._ckpt_store
 
     def _spec_key(self, spec: RunSpec) -> Optional[str]:
         """The canonical cache key, or None when the program won't build.
@@ -617,6 +645,7 @@ class ParallelRunner:
                 specs[ident] = (point, spec)
         resolved: Dict[object, SimStats] = {}
         pending: List[Tuple[object, object, RunSpec]] = []
+        sampled_parents: List[Tuple[object, object, RunSpec]] = []
         for ident, (point, spec) in specs.items():
             key = ident if isinstance(ident, str) else None
             reads_ok = (key is not None and spec.observe is None
@@ -634,7 +663,29 @@ class ParallelRunner:
                     self._note_source(ident, point, spec, "disk")
                     self._memo[key] = resolved[ident] = st
                     continue
+            if spec.sampling and not _is_interval_token(spec.sampling):
+                # A parent sampled spec: expanded into interval jobs by
+                # resolve_sampled (which calls back into run_many, so
+                # the intervals get the full memo/disk/pool treatment);
+                # only the stitched estimate is recorded under this key.
+                sampled_parents.append((ident, point, spec))
+                continue
             pending.append((ident, point, spec))
+        if sampled_parents:
+            from ..sampling.executor import resolve_sampled
+            for ident, point, spec, st in resolve_sampled(
+                    self, sampled_parents):
+                if isinstance(st, FailedResult):
+                    self.failures.append(st)
+                    self._note_source(ident, point, spec, "failed")
+                    resolved[ident] = st
+                    continue
+                self.sims_run += 1
+                resolved[ident] = st
+                self._note_source(ident, point, spec, "sim")
+                if isinstance(ident, str):
+                    self._memo[ident] = st
+                    self.cache.put(ident, st, spec=spec)
         if pending:
             sim_jobs = [spec for _, _, spec in pending]
             restarts_before = pool_restart_count()
@@ -684,6 +735,11 @@ class ParallelRunner:
         line = (f"runtime: {self.sims_run} simulation(s) run "
                 f"({self.jobs} worker(s)), {self.disk_hits} disk-cache "
                 f"hit(s), {self.memo_hits} memo hit(s)")
+        store = self._ckpt_store
+        if store is not None:
+            line += (f", sampling: {store.fast_forwards} fast-forward "
+                     f"pass(es), {store.checkpoint_hits} checkpoint "
+                     f"hit(s)")
         if self.failures:
             line += f", {len(self.failures)} FAILED"
         return line

@@ -34,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: every serialised-spec key, in serialisation order
 SPEC_FIELDS = ("kernel", "scale", "seed", "cfg", "policy", "faults",
-               "observe")
+               "observe", "sampling")
 
 
 @dataclass(frozen=True)
@@ -62,6 +62,11 @@ class RunSpec:
     #: run without changing it, so it is excluded from the cache key —
     #: but observed runs bypass cache *reads* so the observer really runs
     observe: Optional[str] = None
+    #: sampling spec string (``"auto"``, ``"k=8,w=250,m=400"``) — opt-in
+    #: statistical sampling (repro.sampling): the run is *estimated* from
+    #: detailed intervals reached by functional fast-forward.  Part of
+    #: the run's identity (estimates never collide with exact results).
+    sampling: Optional[str] = None
 
     # -- resolution ---------------------------------------------------------
 
@@ -95,6 +100,18 @@ class RunSpec:
         get_workload(self.kernel)
         self.resolved_cfg()
         self.fault_plan()
+        if self.sampling:
+            from ..sampling.plan import SamplingSpec
+            SamplingSpec.parse(self.sampling)
+            if self.faults:
+                raise ValueError("sampling does not compose with fault "
+                                 "injection: a fault plan perturbs timing "
+                                 "at absolute cycles, which a stitched "
+                                 "estimate cannot represent")
+            if self.observe:
+                raise ValueError("sampling does not compose with "
+                                 "observers: a stitched estimate has no "
+                                 "contiguous cycle stream to observe")
         return self
 
     # -- identity -----------------------------------------------------------
@@ -116,7 +133,7 @@ class RunSpec:
         return {"kernel": self.kernel, "scale": self.scale,
                 "seed": self.seed, "cfg": config_to_dict(self.cfg),
                 "policy": self.policy, "faults": self.faults,
-                "observe": self.observe}
+                "observe": self.observe, "sampling": self.sampling}
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSpec":
@@ -131,7 +148,7 @@ class RunSpec:
         kernel = data.get("kernel")
         if not isinstance(kernel, str) or not kernel:
             raise ValueError("run spec needs a 'kernel' name")
-        for key in ("policy", "faults", "observe"):
+        for key in ("policy", "faults", "observe", "sampling"):
             value = data.get(key)
             if value is not None and not isinstance(value, str):
                 raise ValueError(f"run spec {key!r} must be a string "
@@ -145,7 +162,8 @@ class RunSpec:
         cfg = config_from_dict(data.get("cfg") or {})
         return cls(kernel=kernel, scale=scale, seed=seed, cfg=cfg,
                    policy=data.get("policy"), faults=data.get("faults"),
-                   observe=data.get("observe"))
+                   observe=data.get("observe"),
+                   sampling=data.get("sampling"))
 
     def to_json(self) -> str:
         """Canonical JSON form (sorted keys, no whitespace)."""
@@ -170,4 +188,6 @@ class RunSpec:
             parts.append(f"faults={self.faults}")
         if self.observe:
             parts.append(f"observe={self.observe}")
+        if self.sampling:
+            parts.append(f"sampling={self.sampling}")
         return " ".join(parts)

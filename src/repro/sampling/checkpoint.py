@@ -1,0 +1,553 @@
+"""Functional checkpoints and their content-addressed store.
+
+A checkpoint is pure *architectural* state at an instruction boundary:
+the logical register file, the memory delta against the program's
+initial image, and the instruction/PC cursor.  It is produced by the
+functional interpreter's resumable ``regs``/``memory`` path
+(:func:`repro.isa.interp.run` with ``allow_partial=True``) and consumed
+by the detailed core's boot-from-checkpoint entry
+(:class:`repro.uarch.core.Core` ``boot=``).
+
+The load-bearing property: architectural state at an instruction
+boundary depends only on the *program* — never on the config, policy,
+ports or register-file size being swept — so checkpoints are keyed by
+:func:`repro.runtime.keys.checkpoint_key` (program fingerprint +
+boundary) alone, and ``N policies x K configs x 1 kernel`` performs
+exactly one fast-forward per boundary.  The store lives on disk under
+``<cache root>/checkpoints/`` and is shared across pool workers,
+concurrent sessions and ``repro serve``.
+
+Storage discipline mirrors :mod:`repro.runtime.cache` exactly: two-level
+sharding, write-to-temp + atomic rename, a checksummed envelope
+``{"schema": N, "sha256": <digest>, "payload": {...}}``, and corrupt
+entries quarantined under ``<root>/quarantine/`` so a torn write can
+never boot a core from garbage state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+from ..isa.instructions import K_BRANCH, K_LOAD, K_STORE, NUM_LOGICAL_REGS
+from ..runtime.cache import (
+    CHECKPOINT_SUBDIR,
+    QUARANTINE_DIR,
+    cache_enabled,
+    default_cache_dir,
+)
+from ..runtime.keys import (
+    CHECKPOINT_SCHEMA,
+    checkpoint_key,
+    program_fingerprint,
+    stats_digest as _payload_digest,
+)
+
+from .plan import SamplingError, SamplingPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..isa import Program
+
+#: functional-warming tails (SMARTS-style): the fast-forward records the
+#: most recent memory accesses and conditional-branch outcomes before
+#: each boundary.  The tails are *config-independent events* — each
+#: interval job replays them through its own config's cache hierarchy
+#: and branch predictor at boot, so warmed microarchitectural state
+#: never breaks the share-one-checkpoint-across-configs property.
+TAIL_MEM = 4096
+TAIL_BRANCH = 2048
+
+
+class CheckpointError(ValueError):
+    """A checkpoint entry exists but cannot be trusted."""
+
+
+@dataclass
+class Checkpoint:
+    """Architectural state at one dynamic-instruction boundary."""
+
+    #: dynamic instruction index this state corresponds to (the first
+    #: ``inst_index`` instructions have fully executed)
+    inst_index: int
+    #: next PC to execute
+    pc: int
+    #: full logical register file
+    regs: List[int]
+    #: memory delta against ``program.initial_memory()``
+    mem_delta: Dict[int, int] = field(default_factory=dict)
+    #: functional-warming tails: recent ``(is_store, addr)`` memory
+    #: accesses and ``(pc, taken)`` branch outcomes preceding the
+    #: boundary (config-independent; replayed per config at boot)
+    mem_tail: List[Tuple[int, int]] = field(default_factory=list)
+    branch_tail: List[Tuple[int, int]] = field(default_factory=list)
+
+    @classmethod
+    def initial(cls) -> "Checkpoint":
+        """The trivial boundary-0 checkpoint (reset state)."""
+        return cls(inst_index=0, pc=0, regs=[0] * NUM_LOGICAL_REGS)
+
+    @classmethod
+    def capture(cls, program: "Program", inst_index: int, pc: int,
+                regs: List[int], memory: Dict[int, int],
+                mem_tail: Iterable[Tuple[int, int]] = (),
+                branch_tail: Iterable[Tuple[int, int]] = ()
+                ) -> "Checkpoint":
+        """Snapshot interpreter state as a checkpoint (delta-encoded)."""
+        init = program.data_init
+        absent = object()
+        delta = {a: v for a, v in memory.items()
+                 if init.get(a, absent) != v}
+        return cls(inst_index=inst_index, pc=pc, regs=list(regs),
+                   mem_delta=delta, mem_tail=list(mem_tail),
+                   branch_tail=list(branch_tail))
+
+    def to_payload(self) -> dict:
+        """JSON-serialisable form (memory as sorted [addr, val] pairs)."""
+        return {"inst_index": self.inst_index, "pc": self.pc,
+                "regs": list(self.regs),
+                "mem": [[a, self.mem_delta[a]]
+                        for a in sorted(self.mem_delta)],
+                "mem_tail": [list(t) for t in self.mem_tail],
+                "branch_tail": [list(t) for t in self.branch_tail]}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Checkpoint":
+        try:
+            regs = [int(r) for r in payload["regs"]]
+            mem = {int(a): int(v) for a, v in payload["mem"]}
+            mem_tail = [(int(s), int(a)) for s, a in payload["mem_tail"]]
+            branch_tail = [(int(p), int(t))
+                           for p, t in payload["branch_tail"]]
+            return cls(inst_index=int(payload["inst_index"]),
+                       pc=int(payload["pc"]), regs=regs, mem_delta=mem,
+                       mem_tail=mem_tail, branch_tail=branch_tail)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint payload does not deserialise: {exc}") from None
+
+
+def _decode_envelope(text: str) -> Optional[dict]:
+    """Parse + verify one envelope; payload dict, None on schema skew."""
+    try:
+        envelope = json.loads(text)
+    except ValueError as exc:
+        raise CheckpointError(f"unparsable JSON: {exc}") from None
+    if not isinstance(envelope, dict) or "payload" not in envelope \
+            or "sha256" not in envelope or "schema" not in envelope:
+        raise CheckpointError("not a checkpoint envelope")
+    if envelope["schema"] != CHECKPOINT_SCHEMA:
+        return None  # another version's valid data: a miss
+    payload = envelope["payload"]
+    if _payload_digest(payload) != envelope["sha256"]:
+        raise CheckpointError("checksum mismatch")
+    return payload
+
+
+class CheckpointStore:
+    """On-disk functional-checkpoint store (atomic, checksummed).
+
+    Cheap to construct; the root directory appears on first write.
+    Shares the result cache's enable switches (``REPRO_CACHE=0`` turns
+    it off, in which case every sampled run re-fast-forwards — slower,
+    never wrong).  In-memory counters track this instance's activity:
+    ``fast_forwards`` (checkpoint-producing functional passes),
+    ``lengths_measured`` (full functional passes that established a
+    program's dynamic length) and ``checkpoint_hits`` (boots served
+    from the store) — the numbers the sharing guarantees are asserted
+    on.
+    """
+
+    def __init__(self, root: Optional[str] = None,
+                 enabled: Optional[bool] = None):
+        self.root = root or os.path.join(default_cache_dir(),
+                                         CHECKPOINT_SUBDIR)
+        self.enabled = cache_enabled() if enabled is None else enabled
+        self.quarantined: List[str] = []
+        self.fast_forwards = 0
+        self.lengths_measured = 0
+        self.checkpoint_hits = 0
+        self.checkpoints_written = 0
+        #: in-process mirror so repeated boots of one boundary (many
+        #: configs x one kernel in a single runner) parse the entry once
+        self._memo: Dict[str, Checkpoint] = {}
+        self._meta_memo: Dict[str, dict] = {}
+        self._plan_memo: Dict[str, SamplingPlan] = {}
+
+    # -- paths / plumbing (mirrors ResultCache) --------------------------
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def _quarantine(self, path: str) -> None:
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, os.path.join(qdir, os.path.basename(path)))
+            self.quarantined.append(path)
+        except OSError:
+            pass
+
+    def _read_payload(self, key: str) -> Optional[dict]:
+        path = self.path_for(key)
+        try:
+            with open(path) as fh:
+                text = fh.read()
+        except OSError:
+            return None
+        try:
+            return _decode_envelope(text)
+        except CheckpointError:
+            self._quarantine(path)
+            return None
+
+    def _write_payload(self, key: str, payload: dict,
+                       meta: Optional[dict] = None) -> None:
+        envelope: Dict[str, object] = {
+            "schema": CHECKPOINT_SCHEMA,
+            "sha256": _payload_digest(payload),
+            "payload": payload}
+        if meta:
+            envelope.update(meta)
+        path = self.path_for(key)
+        shard = os.path.dirname(path)
+        try:
+            os.makedirs(shard, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(envelope, fh, separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass  # a read-only or full store never fails the run
+
+    # -- checkpoints -----------------------------------------------------
+    def get(self, fingerprint: str, boundary: int) -> Optional[Checkpoint]:
+        if boundary == 0:
+            return Checkpoint.initial()
+        key = checkpoint_key(fingerprint, boundary)
+        memo = self._memo.get(key)
+        if memo is not None:
+            self.checkpoint_hits += 1
+            return memo
+        if not self.enabled:
+            return None
+        payload = self._read_payload(key)
+        if payload is None:
+            return None
+        try:
+            ckpt = Checkpoint.from_payload(payload)
+        except CheckpointError:
+            self._quarantine(self.path_for(key))
+            return None
+        self._memo[key] = ckpt
+        self.checkpoint_hits += 1
+        return ckpt
+
+    def put(self, fingerprint: str, ckpt: Checkpoint) -> None:
+        key = checkpoint_key(fingerprint, ckpt.inst_index)
+        self._memo[key] = ckpt
+        self.checkpoints_written += 1
+        if not self.enabled:
+            return
+        self._write_payload(key, ckpt.to_payload(),
+                            meta={"kind": "checkpoint",
+                                  "program": fingerprint,
+                                  "boundary": ckpt.inst_index})
+
+    # -- per-program metadata (dynamic length) ---------------------------
+    def meta_get(self, fingerprint: str) -> Optional[dict]:
+        memo = self._meta_memo.get(fingerprint)
+        if memo is not None:
+            return memo
+        if not self.enabled:
+            return None
+        payload = self._read_payload(checkpoint_key(fingerprint, "meta"))
+        if payload is None or not isinstance(payload.get("total"), int):
+            return None
+        self._meta_memo[fingerprint] = payload
+        return payload
+
+    def meta_put(self, fingerprint: str, meta: dict) -> None:
+        self._meta_memo[fingerprint] = meta
+        if not self.enabled:
+            return
+        self._write_payload(checkpoint_key(fingerprint, "meta"), meta,
+                            meta={"kind": "meta", "program": fingerprint})
+
+    # -- derived sampling plans (per program x spec text) ----------------
+    def plan_get(self, fingerprint: str,
+                 spec_text: str) -> Optional[SamplingPlan]:
+        key = checkpoint_key(fingerprint, f"plan:{spec_text}")
+        memo = self._plan_memo.get(key)
+        if memo is not None:
+            return memo
+        if not self.enabled:
+            return None
+        payload = self._read_payload(key)
+        if payload is None:
+            return None
+        try:
+            plan = SamplingPlan.from_payload(payload)
+        except SamplingError:
+            self._quarantine(self.path_for(key))
+            return None
+        self._plan_memo[key] = plan
+        return plan
+
+    def plan_put(self, fingerprint: str, spec_text: str,
+                 plan: SamplingPlan) -> None:
+        key = checkpoint_key(fingerprint, f"plan:{spec_text}")
+        self._plan_memo[key] = plan
+        if not self.enabled:
+            return
+        self._write_payload(key, plan.to_payload(),
+                            meta={"kind": "plan", "program": fingerprint,
+                                  "spec": spec_text})
+
+    # -- auditing (repro cache info|verify|clear) ------------------------
+    def _entries(self):
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            if os.path.basename(dirpath) == QUARANTINE_DIR:
+                dirnames[:] = []
+                continue
+            for name in sorted(filenames):
+                if name.endswith(".json"):
+                    yield os.path.join(dirpath, name)
+
+    def info(self) -> Dict[str, object]:
+        entries = size = quarantined = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            in_quarantine = os.path.basename(dirpath) == QUARANTINE_DIR
+            for name in filenames:
+                if not name.endswith(".json"):
+                    continue
+                if in_quarantine:
+                    quarantined += 1
+                    continue
+                entries += 1
+                try:
+                    size += os.path.getsize(os.path.join(dirpath, name))
+                except OSError:
+                    pass
+        return {"root": self.root, "enabled": self.enabled,
+                "entries": entries, "bytes": size,
+                "quarantined": quarantined}
+
+    def verify(self, quarantine: bool = True) -> Dict[str, object]:
+        """Audit every entry: parse, checksum, deserialise."""
+        ok = stale = 0
+        bad: List[Tuple[str, str]] = []
+        for path in self._entries():
+            try:
+                with open(path) as fh:
+                    text = fh.read()
+                payload = _decode_envelope(text)
+                if payload is None:
+                    stale += 1
+                    continue
+                if "regs" in payload:
+                    Checkpoint.from_payload(payload)
+                elif "intervals" in payload:
+                    try:
+                        SamplingPlan.from_payload(payload)
+                    except SamplingError as exc:
+                        raise CheckpointError(str(exc)) from None
+                elif not isinstance(payload.get("total"), int):
+                    raise CheckpointError("meta entry without a total")
+                ok += 1
+            except CheckpointError as exc:
+                bad.append((path, str(exc)))
+            except OSError as exc:  # pragma: no cover - racing deletion
+                bad.append((path, str(exc)))
+        if quarantine:
+            for path, _reason in bad:
+                self._quarantine(path)
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        try:
+            parked = sum(1 for name in os.listdir(qdir)
+                         if name.endswith(".json"))
+        except OSError:
+            parked = 0
+        if not quarantine:
+            parked += len(bad)
+        return {"root": self.root, "ok": ok, "stale": stale,
+                "corrupt": len(bad), "quarantined": parked,
+                "bad": [{"path": p, "reason": r} for p, r in bad]}
+
+    def clear(self) -> int:
+        removed = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith(".json") or name.endswith(".tmp"):
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        self._memo.clear()
+        self._meta_memo.clear()
+        self._plan_memo.clear()
+        return removed
+
+
+# -- fast-forward producers ---------------------------------------------------
+
+def functional_length(program: "Program", store: CheckpointStore) -> int:
+    """The program's total dynamic instruction count (meta-cached).
+
+    One full functional pass on a cold store; every later plan
+    derivation for the same program reads the meta entry.
+    """
+    fp = program_fingerprint(program)
+    meta = store.meta_get(fp)
+    if meta is not None:
+        return meta["total"]
+    from ..isa import interp
+    res = interp.run(program)  # raises StepLimitExceeded on runaways
+    store.lengths_measured += 1
+    store.meta_put(fp, {"total": res.steps, "halted": res.halted})
+    return res.steps
+
+
+#: feature-pass probe cache: a tiny direct-mapped tag array over the
+#: access stream (64-byte lines, 256 sets).  Its miss rate is a purely
+#: functional stand-in for data locality — on the registry suite it
+#: tracks the detailed model's local CPI with correlation 0.86-0.97,
+#: where pc profiles are near-constant and useless.
+PROBE_LINE_SHIFT = 6
+PROBE_SETS = 256
+
+
+def feature_pass(program: "Program", granularity: int,
+                 store: CheckpointStore
+                 ) -> Tuple[int, List[Dict[str, int]]]:
+    """Full functional pass collecting per-micro-interval features.
+
+    Returns the program's dynamic length and, for every
+    ``granularity``-instruction micro-interval (the last may be
+    partial), a feature vector ``{loads, stores, branches, taken, miss,
+    acc, n}`` — instruction-mix counts, taken-branch count, and the
+    probe cache's miss/access counts.  Raw material for
+    :meth:`SamplingPlan.phased`.  Also establishes the program's length
+    meta entry, so a later :func:`functional_length` is free.
+    """
+    from ..isa import interp
+    from ..isa.predecode import predecode
+    kind_a = predecode(program).kind
+    feats: List[Dict[str, int]] = []
+    cur = {"loads": 0, "stores": 0, "branches": 0, "taken": 0,
+           "miss": 0, "acc": 0, "n": 0}
+    probe: Dict[int, int] = {}
+    pending_branch: List[Optional[int]] = [None]
+
+    def hook(hpc: int, _instr, _result, eff_addr) -> None:
+        pb = pending_branch[0]
+        if pb is not None:
+            cur["taken"] += int(hpc != pb + 1)
+            pending_branch[0] = None
+        k = kind_a[hpc]
+        if k == K_LOAD or k == K_STORE:
+            cur["loads" if k == K_LOAD else "stores"] += 1
+            line = eff_addr >> PROBE_LINE_SHIFT
+            idx = line & (PROBE_SETS - 1)
+            cur["acc"] += 1
+            if probe.get(idx) != line:
+                cur["miss"] += 1
+                probe[idx] = line
+        elif k == K_BRANCH:
+            cur["branches"] += 1
+            pending_branch[0] = hpc
+        cur["n"] += 1
+        if cur["n"] == granularity:
+            feats.append(dict(cur))
+            for name in cur:
+                cur[name] = 0
+
+    res = interp.run(program, trace_hook=hook)
+    if cur["n"]:
+        feats.append(dict(cur))
+    store.lengths_measured += 1
+    store.meta_put(program_fingerprint(program),
+                   {"total": res.steps, "halted": res.halted})
+    return res.steps, feats
+
+
+def ensure_checkpoints(program: "Program", boundaries: Iterable[int],
+                       store: CheckpointStore) -> Dict[int, Checkpoint]:
+    """Make every boundary's checkpoint available; at most ONE pass.
+
+    Boundaries already in the store are reused; the missing ones are
+    produced by a single resumable functional fast-forward that starts
+    from the best available checkpoint at or below the first gap.  A
+    fully warm store performs zero functional execution — this is the
+    property that lets a whole policy/config sweep share one
+    fast-forward.
+    """
+    fp = program_fingerprint(program)
+    have: Dict[int, Checkpoint] = {}
+    missing: List[int] = []
+    for b in sorted(set(int(b) for b in boundaries)):
+        if b < 0:
+            raise ValueError(f"negative checkpoint boundary {b}")
+        ckpt = store.get(fp, b)
+        if ckpt is not None:
+            have[b] = ckpt
+        else:
+            missing.append(b)
+    if not missing:
+        return have
+    from ..isa import interp
+    from ..isa.predecode import predecode
+    store.fast_forwards += 1
+    start = max((b for b in have if b <= missing[0]), default=0)
+    state = have.get(start) or Checkpoint.initial()
+    regs = list(state.regs)
+    memory = program.initial_memory()
+    memory.update(state.mem_delta)
+    pc = state.pc
+    done = start
+    # Functional-warming tails, seeded from the resume checkpoint's own
+    # (events older than the tail window are forgotten either way, so
+    # resuming mid-stream loses nothing).
+    mem_tail: deque = deque(state.mem_tail, maxlen=TAIL_MEM)
+    branch_tail: deque = deque(state.branch_tail, maxlen=TAIL_BRANCH)
+    kind_a = predecode(program).kind
+    pending_branch: List[Optional[int]] = [None]
+
+    def hook(hpc: int, _instr, _result, eff_addr) -> None:
+        pb = pending_branch[0]
+        if pb is not None:
+            # The previous instruction was a conditional branch; this
+            # instruction's pc reveals whether it was taken.
+            branch_tail.append((pb, int(hpc != pb + 1)))
+            pending_branch[0] = None
+        k = kind_a[hpc]
+        if k == K_LOAD:
+            mem_tail.append((0, eff_addr))
+        elif k == K_STORE:
+            mem_tail.append((1, eff_addr))
+        elif k == K_BRANCH:
+            pending_branch[0] = hpc
+
+    for b in missing:
+        res = interp.run(program, max_steps=b - done, regs=regs,
+                         memory=memory, start_pc=pc, allow_partial=True,
+                         trace_hook=hook)
+        done += res.steps
+        pc = res.pc
+        if res.halted or done != b:
+            raise CheckpointError(
+                f"program {program.name!r} ended after {done} "
+                f"instructions, before checkpoint boundary {b} — was the "
+                f"plan derived from a different program?")
+        ckpt = Checkpoint.capture(program, b, pc, regs, memory,
+                                  mem_tail, branch_tail)
+        store.put(fp, ckpt)
+        have[b] = ckpt
+    return have

@@ -23,6 +23,7 @@ import http.client
 import json
 import random
 import time
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments.common import Runner
@@ -356,12 +357,13 @@ class RemoteRunner(Runner):
                  keep_going: bool = False,
                  on_update: Optional[Callable[[str, JobStatus],
                                               None]] = None,
-                 on_event: Optional[Callable[[str], None]] = None):
+                 on_event: Optional[Callable[[str], None]] = None,
+                 sampling: Optional[str] = None):
         # jobs=1 and a disabled cache: this process does no local
         # simulation and must not shadow the daemon's persistent cache.
         super().__init__(scale=scale, seed=seed, jobs=1,
                          cache=ResultCache(enabled=False),
-                         keep_going=keep_going)
+                         keep_going=keep_going, sampling=sampling)
         self.client = ServeClient(addr, on_event=on_event)
         self.priority = priority
         self.client_name = client_name
@@ -399,12 +401,17 @@ class RemoteRunner(Runner):
         if pending:
             sent: List[RunSpec] = []
             for memo_key in pending:
-                spec = memo_key if isinstance(memo_key, RunSpec) \
-                    else RunSpec(memo_key[0], self.scale, self.seed,
-                                 memo_key[1])
+                if isinstance(memo_key, RunSpec):
+                    spec = memo_key
+                else:
+                    spec = RunSpec(memo_key[0], self.scale, self.seed,
+                                   memo_key[1])
+                    if self.sampling is not None:
+                        spec = replace(spec, sampling=self.sampling)
                 sent.append(spec)
             specs = [JobSpec(kernel=s.kernel, scale=s.scale, seed=s.seed,
                              cfg=s.cfg, policy=s.policy, faults=s.faults,
+                             sampling=s.sampling,
                              priority=self.priority,
                              client=self.client_name)
                      for s in sent]

@@ -74,7 +74,7 @@ class JobSpec(RunSpec):
     transport fields.
 
     The run vocabulary *is* the wire vocabulary — kernel, scale, seed,
-    config, policy and fault riders serialise exactly as
+    config, policy, fault and sampling riders serialise exactly as
     :meth:`RunSpec.to_dict` defines them, so the server's coalescing key
     is literally ``spec.cache_key()``: the same content-addressed
     identity the local pool memoises and the disk cache stores under.
@@ -117,6 +117,21 @@ class JobSpec(RunSpec):
                  "faults must be a fault-plan spec string or null")
         _require(data.get("observe") is None,
                  "observers are not supported over the wire")
+        sampling = data.get("sampling")
+        _require(sampling is None or isinstance(sampling, str),
+                 "sampling must be a sampling spec string or null")
+        if sampling is not None:
+            _require(faults is None,
+                     "sampling does not compose with fault injection")
+            from ..sampling.plan import SamplingError, SamplingSpec, \
+                is_interval_token, parse_interval
+            try:
+                if is_interval_token(sampling):
+                    parse_interval(sampling)   # a pre-planned interval job
+                else:
+                    SamplingSpec.parse(sampling)
+            except SamplingError as exc:
+                raise ProtocolError(str(exc)) from None
         client = data.get("client", "anon")
         _require(isinstance(client, str) and bool(client),
                  "client must be a non-empty string")
@@ -125,8 +140,8 @@ class JobSpec(RunSpec):
         except ValueError as exc:
             raise ProtocolError(str(exc)) from None
         spec = cls(kernel=kernel, scale=scale, seed=seed, cfg=cfg,
-                   policy=policy, faults=faults, priority=priority,
-                   client=client)
+                   policy=policy, faults=faults, sampling=sampling,
+                   priority=priority, client=client)
         try:
             spec.resolved_cfg()   # unknown policy fails here, with hints
             spec.fault_plan()     # malformed fault plan fails here

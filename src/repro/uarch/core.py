@@ -126,7 +126,8 @@ class Core:
     def __init__(self, cfg: ProcessorConfig, program: Program,
                  hooks: Optional[MechanismHooks] = None,
                  observer: Optional[Observer] = None,
-                 skip_ahead: Optional[bool] = None):
+                 skip_ahead: Optional[bool] = None,
+                 boot: Optional[object] = None):
         self.cfg = cfg
         self.program = program
         #: shared decode-once image (see repro.isa.predecode)
@@ -166,6 +167,18 @@ class Core:
         self.hooks.attach(self)
         self._last_progress_cycle = 0
         self._ports = PortState(cfg, self.stats, self.hierarchy)
+        if boot is not None:
+            # Boot from a functional checkpoint (repro.sampling): seed
+            # the architectural state — register file, memory image and
+            # fetch cursor — from the checkpointed values.  Architectural
+            # state depends only on the program, so one checkpoint boots
+            # every config/policy point; the *microarchitectural* state
+            # (branch predictor, caches, rename) deliberately starts
+            # cold — the sampling plan's detailed-warmup window exists
+            # to re-warm it before measurement begins.
+            self.sregs[:] = boot.regs
+            self.mem.update(boot.mem_delta)
+            self.fetch.pc = boot.pc
 
     @property
     def active_observer(self) -> Optional[Observer]:

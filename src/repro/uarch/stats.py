@@ -6,6 +6,18 @@ from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
+class SampledFloat(float):
+    """A float derived from a sampled *estimate*, not an exact run.
+
+    Behaves exactly like ``float`` everywhere (arithmetic returns plain
+    floats), but carries ``sampled_marker`` so table renderers can
+    prefix the value with ``~`` without every call site learning about
+    sampling.  JSON serialisation is unchanged (it is a float).
+    """
+
+    sampled_marker = True
+
+
 @dataclass
 class SimStats:
     """Counters gathered by one timing-simulation run."""
@@ -76,6 +88,15 @@ class SimStats:
     #: disabled produce the same ``cycles`` with ``skipped_cycles == 0``
     skipped_cycles: int = 0
 
+    #: provenance: True when these stats are a sampled *estimate*
+    #: stitched from detailed intervals (repro.sampling.estimate), never
+    #: for an exact run.  ``sample_intervals`` is the interval count and
+    #: ``sample_rel_ci`` the 95% relative half-width of the CPI estimate
+    #: derived from interval-to-interval variance.
+    sampled: bool = False
+    sample_intervals: int = 0
+    sample_rel_ci: float = 0.0
+
     def record_interval(self) -> None:
         self.interval_committed.append(self.committed)
 
@@ -91,7 +112,8 @@ class SimStats:
 
     @property
     def ipc(self) -> float:
-        return self.committed / self.cycles if self.cycles else 0.0
+        value = self.committed / self.cycles if self.cycles else 0.0
+        return SampledFloat(value) if self.sampled else value
 
     @property
     def mispredict_rate(self) -> float:
@@ -132,11 +154,15 @@ class SimStats:
 
         The raw ``interval_committed`` sample list and the
         ``interval_cycles`` knob stay out (``interval_ipc`` is the
-        derived series); use ``to_dict`` for the lossless form.
+        derived series); use ``to_dict`` for the lossless form.  The
+        sampling provenance fields appear only on sampled estimates, so
+        exact-run reporting payloads (and the goldens pinning them) are
+        unchanged by the sampling subsystem's existence.
         """
-        d = {k: v for k, v in self.__dict__.items()
-             if k not in ("interval_committed", "interval_cycles",
-                          "skipped_cycles")}
+        skip = {"interval_committed", "interval_cycles", "skipped_cycles"}
+        if not self.sampled:
+            skip |= {"sampled", "sample_intervals", "sample_rel_ci"}
+        d = {k: v for k, v in self.__dict__.items() if k not in skip}
         d["ipc"] = self.ipc
         d["mispredict_rate"] = self.mispredict_rate
         d["avg_regs_in_use"] = self.avg_regs_in_use
